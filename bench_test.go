@@ -1,0 +1,329 @@
+package pata_test
+
+// One benchmark per evaluation table and figure of the paper, plus
+// substrate micro-benchmarks and ablations for the design choices called
+// out in DESIGN.md. Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The printed tables come from cmd/patabench; these benchmarks measure the
+// cost of regenerating each one.
+
+import (
+	"io"
+	"testing"
+
+	pata "repro"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/minicc"
+	"repro/internal/oscorpus"
+	"repro/internal/pathval"
+	"repro/internal/smt"
+	"repro/internal/typestate"
+)
+
+// ---- Table and figure benchmarks ----
+
+// BenchmarkTable4Corpus regenerates Table 4 (corpus generation for the four
+// OSes).
+func BenchmarkTable4Corpus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Table4(io.Discard)
+	}
+}
+
+// BenchmarkTable5Pipeline regenerates Table 5 (full PATA: Stage 1 + Stage 2
+// over all four corpora, with the typestate/constraint cost counters).
+func BenchmarkTable5Pipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Table5(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11Distribution regenerates Figure 11 (bug distribution by OS
+// part).
+func BenchmarkFig11Distribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig11(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6Sensitivity regenerates Table 6 (PATA vs PATA-NA).
+func BenchmarkTable6Sensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Table6(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable7ExtraCheckers regenerates Table 7 (DL/AIU/DBZ checkers).
+func BenchmarkTable7ExtraCheckers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Table7(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable8Comparison regenerates Table 8 (all baselines vs PATA on
+// all corpora).
+func BenchmarkTable8Comparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Table8(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFPAudit regenerates the §5.2 false-positive cause audit.
+func BenchmarkFPAudit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.FPAudit(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCases regenerates the Figure 1/3/9/12 case studies.
+func BenchmarkCases(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Cases(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- substrate micro-benchmarks ----
+
+// BenchmarkFrontendLinuxCorpus measures mini-C parsing+lowering of the
+// linux-like corpus (the Clang-equivalent P1 cost).
+func BenchmarkFrontendLinuxCorpus(b *testing.B) {
+	c := oscorpus.Generate(oscorpus.LinuxSpec())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := minicc.LowerAll(c.Spec.Name, c.Sources); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStage1LinuxCorpus measures Stage 1 alone (path-sensitive alias +
+// typestate analysis, no validation) on the linux-like corpus.
+func BenchmarkStage1LinuxCorpus(b *testing.B) {
+	c := oscorpus.Generate(oscorpus.LinuxSpec())
+	mod, err := minicc.LowerAll(c.Spec.Name, c.Sources)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := core.NewEngine(mod, core.Config{Checkers: typestate.CoreCheckers()})
+		eng.Run()
+	}
+}
+
+// BenchmarkStage2Validation measures Stage 2 alone: SMT validation of the
+// Stage-1 candidates of the linux-like corpus.
+func BenchmarkStage2Validation(b *testing.B) {
+	c := oscorpus.Generate(oscorpus.LinuxSpec())
+	mod, err := minicc.LowerAll(c.Spec.Name, c.Sources)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := core.NewEngine(mod, core.Config{Checkers: typestate.CoreCheckers()}).Run()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := pathval.New()
+		for _, pb := range res.Possible {
+			v.Validate(pb, core.ModePATA)
+		}
+	}
+}
+
+// BenchmarkSMTSolver measures the SMT-lite solver on a representative
+// path-constraint conjunction.
+func BenchmarkSMTSolver(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := smt.NewContext()
+		s := smt.NewSolver(ctx)
+		x, y, z := ctx.Var("x"), ctx.Var("y"), ctx.Var("z")
+		f := smt.And(
+			smt.Eq(x, smt.Add(y, smt.Int(1))),
+			smt.Ge(y, smt.Int(0)),
+			smt.Le(z, smt.Int(100)),
+			smt.Lt(smt.Add(x, z), smt.Int(50)),
+			smt.Ne(x, smt.Int(0)),
+		)
+		if s.Solve(f) != smt.Sat {
+			b.Fatal("unexpected verdict")
+		}
+	}
+}
+
+// BenchmarkPublicAPI measures the end-to-end public entry point on a small
+// program (what a library user pays per file).
+func BenchmarkPublicAPI(b *testing.B) {
+	src := map[string]string{"demo.c": `
+struct dev { int flags; };
+int probe(struct dev *d) {
+	if (!d)
+		return d->flags;
+	return 0;
+}`}
+	for i := 0; i < b.N; i++ {
+		if _, err := pata.AnalyzeSources("demo", src, pata.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- ablation benchmarks (design choices from DESIGN.md) ----
+
+// BenchmarkAblationAliasMode compares Stage-1 cost of path-based aliasing
+// vs the PATA-NA restriction (the paper's Table 6 time column).
+func BenchmarkAblationAliasMode(b *testing.B) {
+	c := oscorpus.Generate(oscorpus.LinuxSpec())
+	mod, err := minicc.LowerAll(c.Spec.Name, c.Sources)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		mode core.Mode
+	}{{"pata", core.ModePATA}, {"na", core.ModeNoAlias}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.NewEngine(mod, core.Config{
+					Checkers: typestate.CoreCheckers(), Mode: bc.mode,
+				}).Run()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationContinuations varies the P2 path-explosion mitigation
+// (callee paths continuing into the caller).
+func BenchmarkAblationContinuations(b *testing.B) {
+	c := oscorpus.Generate(oscorpus.LinuxSpec())
+	mod, err := minicc.LowerAll(c.Spec.Name, c.Sources)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 8, -1} {
+		name := "unlimited"
+		switch k {
+		case 1:
+			name = "k1"
+		case 2:
+			name = "k2"
+		case 8:
+			name = "k8"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.Config{Checkers: typestate.CoreCheckers()}
+			cfg.MaxContinuationsPerCall = k
+			for i := 0; i < b.N; i++ {
+				core.NewEngine(mod, cfg).Run()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationValidation compares the full pipeline with and without
+// Stage-2 validation (cost of the paper's C3 answer).
+func BenchmarkAblationValidation(b *testing.B) {
+	c := oscorpus.Generate(oscorpus.LinuxSpec())
+	mod, err := minicc.LowerAll(c.Spec.Name, c.Sources)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("novalidate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.NewEngine(mod, core.Config{Checkers: typestate.CoreCheckers()}).Run()
+		}
+	})
+	b.Run("validate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := core.Config{Checkers: typestate.CoreCheckers()}
+			pathval.New().Install(&cfg)
+			core.NewEngine(mod, cfg).Run()
+		}
+	})
+}
+
+// BenchmarkScaling measures full-pipeline cost at growing corpus sizes
+// (linux-like corpus scaled 1x/2x/4x): evidence that the per-entry path
+// budget keeps the analysis near-linear in code size, the property that
+// lets the paper analyze 10.3M LoC.
+func BenchmarkScaling(b *testing.B) {
+	for _, factor := range []int{1, 2, 4} {
+		spec := oscorpus.Scaled(oscorpus.LinuxSpec(), factor)
+		c := oscorpus.Generate(spec)
+		mod, err := minicc.LowerAll(c.Spec.Name, c.Sources)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(map[int]string{1: "x1", 2: "x2", 4: "x4"}[factor], func(b *testing.B) {
+			b.ReportMetric(float64(c.Lines), "loc")
+			for i := 0; i < b.N; i++ {
+				cfg := core.Config{Checkers: typestate.CoreCheckers()}
+				pathval.New().Install(&cfg)
+				core.NewEngine(mod, cfg).Run()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLoopUnroll varies the §7 loop-unroll extension (K visits
+// per instruction per path; the paper's default is 1).
+func BenchmarkAblationLoopUnroll(b *testing.B) {
+	c := oscorpus.Generate(oscorpus.LinuxSpec())
+	mod, err := minicc.LowerAll(c.Spec.Name, c.Sources)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 3} {
+		b.Run(map[int]string{1: "k1", 2: "k2", 3: "k3"}[k], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.NewEngine(mod, core.Config{
+					Checkers: typestate.CoreCheckers(), LoopUnroll: k,
+				}).Run()
+			}
+		})
+	}
+}
+
+// BenchmarkParallelWorkers measures entry-level parallelism of Stage 1+2 on
+// the 4x linux-like corpus.
+func BenchmarkParallelWorkers(b *testing.B) {
+	c := oscorpus.Generate(oscorpus.Scaled(oscorpus.LinuxSpec(), 4))
+	mod, err := minicc.LowerAll(c.Spec.Name, c.Sources)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "w1", 2: "w2", 4: "w4"}[w], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.Config{Checkers: typestate.CoreCheckers()}
+				pathval.New().Install(&cfg)
+				core.RunParallel(mod, cfg, w)
+			}
+		})
+	}
+}
+
+// BenchmarkExtensions regenerates the repo-extension experiment (UAF + API
+// pairing checkers).
+func BenchmarkExtensions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Extensions(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

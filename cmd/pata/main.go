@@ -1,0 +1,122 @@
+// Command pata analyzes mini-C source files with the PATA framework and
+// prints bug reports.
+//
+// Usage:
+//
+//	pata [flags] file.c [file2.c ...]
+//	pata [flags] -dir path/to/sources
+//
+// Flags:
+//
+//	-checkers npd,uva,ml   checkers to run (also: dl, aiu, dbz, all)
+//	-dir DIR               analyze every .c file under DIR
+//	-no-alias              run the PATA-NA alias-unaware variant (§5.4)
+//	-no-validate           skip Stage-2 SMT path validation
+//	-stats                 print engine statistics
+//	-json                  emit machine-readable JSON
+//	-unroll N              loop unroll factor (default 1, the paper's rule)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	pata "repro"
+)
+
+func main() {
+	checkers := flag.String("checkers", "", "comma-separated checkers: npd,uva,ml,dl,aiu,dbz or 'all' (default npd,uva,ml)")
+	dir := flag.String("dir", "", "analyze every .c file under this directory")
+	noAlias := flag.Bool("no-alias", false, "disable alias analysis (PATA-NA)")
+	noValidate := flag.Bool("no-validate", false, "skip SMT path validation")
+	stats := flag.Bool("stats", false, "print engine statistics")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	unroll := flag.Int("unroll", 1, "loop unroll factor (paper default 1)")
+	workers := flag.Int("workers", 1, "analyze entry functions with N concurrent engines")
+	witness := flag.Bool("witness", false, "print each bug's witness path and trigger values")
+	flag.Parse()
+
+	cfg := pata.Config{
+		NoAlias:        *noAlias,
+		SkipValidation: *noValidate,
+		LoopUnroll:     *unroll,
+		Workers:        *workers,
+		WitnessPaths:   *witness,
+	}
+	if *checkers != "" {
+		cfg.Checkers = strings.Split(*checkers, ",")
+	}
+
+	var (
+		res *pata.Result
+		err error
+	)
+	switch {
+	case *dir != "":
+		res, err = pata.AnalyzeDir(*dir, cfg)
+	case flag.NArg() > 0:
+		res, err = pata.AnalyzeFiles(flag.Args(), cfg)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: pata [flags] file.c ...  |  pata -dir DIR")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pata:", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Bugs  []pata.Bug `json:"bugs"`
+			Stats pata.Stats `json:"stats"`
+		}{Bugs: res.Bugs, Stats: res.Stats}); err != nil {
+			fmt.Fprintln(os.Stderr, "pata:", err)
+			os.Exit(1)
+		}
+		if len(res.Bugs) > 0 {
+			os.Exit(3)
+		}
+		return
+	}
+	if len(res.Bugs) == 0 {
+		fmt.Println("no bugs found")
+	} else {
+		fmt.Print(res)
+		if *witness {
+			for i, b := range res.Bugs {
+				fmt.Printf("\n[%d] %s at %s:%d\n", i+1, b.Type, b.File, b.Line)
+				if len(b.Trigger) > 0 {
+					fmt.Printf("    trigger: %s\n", strings.Join(b.Trigger, ", "))
+				}
+				if len(b.AliasSet) > 0 {
+					fmt.Printf("    alias set: %s\n", strings.Join(b.AliasSet, ", "))
+				}
+				for _, line := range b.Witness {
+					fmt.Println("   ", line)
+				}
+			}
+		}
+	}
+	if *stats {
+		st := res.Stats
+		fmt.Printf("\nstatistics:\n")
+		fmt.Printf("  entry functions:     %d\n", st.EntryFunctions)
+		fmt.Printf("  paths explored:      %d\n", st.PathsExplored)
+		fmt.Printf("  steps executed:      %d\n", st.StepsExecuted)
+		fmt.Printf("  typestates:          %d (unaware: %d)\n", st.Typestates, st.TypestatesUnaware)
+		fmt.Printf("  SMT constraints:     %d (unaware: %d)\n", st.Constraints, st.ConstraintsUnaware)
+		fmt.Printf("  repeated dropped:    %d\n", st.RepeatedDropped)
+		fmt.Printf("  false dropped:       %d\n", st.FalseDropped)
+		fmt.Printf("  analysis time:       %v\n", st.AnalysisTime)
+		fmt.Printf("  validation time:     %v\n", st.ValidationTime)
+	}
+	if len(res.Bugs) > 0 {
+		os.Exit(3) // bugs found: non-zero for CI use
+	}
+}

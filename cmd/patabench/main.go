@@ -1,0 +1,42 @@
+// Command patabench regenerates the paper's evaluation tables and figures
+// on the synthetic OS corpora.
+//
+// Usage:
+//
+//	patabench -exp table4|table5|table6|table7|table8|fig11|fpaudit|cases|fsm|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment: table4, table5, table6, table7, table8, fig11, fpaudit, extensions, cases, fsm, or all")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		if *which != "all" && *which != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "patabench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("fsm", func() error { exp.FSMs(os.Stdout); return nil })
+	run("table4", func() error { exp.Table4(os.Stdout); return nil })
+	run("table5", func() error { _, err := exp.Table5(os.Stdout); return err })
+	run("fig11", func() error { _, err := exp.Fig11(os.Stdout); return err })
+	run("table6", func() error { _, err := exp.Table6(os.Stdout); return err })
+	run("table7", func() error { _, err := exp.Table7(os.Stdout); return err })
+	run("table8", func() error { _, err := exp.Table8(os.Stdout); return err })
+	run("fpaudit", func() error { _, err := exp.FPAudit(os.Stdout); return err })
+	run("extensions", func() error { _, err := exp.Extensions(os.Stdout); return err })
+	run("cases", func() error { _, err := exp.Cases(os.Stdout); return err })
+}

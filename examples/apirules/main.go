@@ -1,0 +1,65 @@
+// apirules demonstrates the configurable API-pairing checker — the §7
+// "API-rule checking" application of PATA's alias analysis: acquire/release
+// rules (request_region/release_region, of_node_get/of_node_put, clk
+// enable/disable) are checked per alias class, so releases through aliases
+// balance correctly and violations are validated path-sensitively.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pata "repro"
+)
+
+const src = `
+struct device_node { int reg; };
+struct clkdev { int rate; };
+
+/* BUG: np is not put on the error path. */
+static int dt_probe(int base, int bad) {
+	struct device_node *np = (struct device_node *)of_find_node_by_name(base);
+	if (!np)
+		return -19;
+	if (bad)
+		return -5;
+	apply_reg(np->reg);
+	of_node_put(np);
+	return 0;
+}
+
+/* OK: the release happens through an alias of the handle. */
+static int dt_probe_aliased(int base) {
+	struct device_node *np = (struct device_node *)of_find_node_by_name(base);
+	struct device_node *handle = np;
+	if (!np)
+		return -19;
+	apply_reg(np->reg);
+	of_node_put(handle);
+	return 0;
+}
+
+/* BUG: the clock is disabled twice on the retry path. */
+static int start_clock(struct clkdev *c, int retry) {
+	clk_prepare_enable(c);
+	run_with_clock(c->rate);
+	clk_disable_unprepare(c);
+	if (retry)
+		clk_disable_unprepare(c);
+	return 0;
+}
+`
+
+func main() {
+	// The public API exposes pairing through the engine-level checkers; the
+	// "all" selection includes the defaults, but here we want ONLY pairing
+	// reports, so we use the dedicated configuration.
+	res, err := pata.AnalyzeSourcesWithPairs("apirules", map[string]string{"dt.c": src})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== API-pairing rules (§7 application) ==")
+	fmt.Print(res)
+	fmt.Println("\nThe aliased release in dt_probe_aliased is balanced — only the")
+	fmt.Println("genuine violations report, each with a validated witness path.")
+}

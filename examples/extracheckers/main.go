@@ -1,0 +1,62 @@
+// extracheckers demonstrates the framework's generality (§5.5): the same
+// engine runs the three additional checkers — double lock/unlock, array
+// index underflow, division by zero — each defined by a ~100-line FSM.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pata "repro"
+)
+
+const src = `
+struct mutex { int owner; };
+
+/* Double lock on the retry path. */
+static int txn_commit(struct mutex *m, int retry) {
+	mutex_lock(m);
+	if (retry)
+		mutex_lock(m);
+	mutex_unlock(m);
+	return 0;
+}
+
+/* Negative index used on the wrong branch. */
+static int ring_get(int *ring, int head) {
+	if (head < 0)
+		return ring[head];
+	return ring[head];
+}
+
+/* Division by a zero-checked divisor. */
+static int rate_calc(int total, int period) {
+	if (period == 0)
+		return total / period;
+	return total / period;
+}
+
+/* All three done right: no reports. */
+static int all_good(struct mutex *m, int *ring, int head, int period) {
+	int v = 0;
+	mutex_lock(m);
+	if (head >= 0)
+		v = ring[head];
+	if (period != 0)
+		v = v / period;
+	mutex_unlock(m);
+	return v;
+}
+`
+
+func main() {
+	res, err := pata.AnalyzeSources("extra", map[string]string{"extra.c": src},
+		pata.Config{Checkers: []string{"dl", "aiu", "dbz"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== §5.5 extension checkers: DL, AIU, DBZ ==")
+	fmt.Print(res)
+	fmt.Println("\nEach checker is a small FSM plugged into the same alias-aware engine;")
+	fmt.Println("the guarded variants in all_good() produce no reports.")
+}

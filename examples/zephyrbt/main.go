@@ -1,0 +1,46 @@
+// zephyrbt reproduces the paper's motivating example (Figure 3): a
+// null-pointer dereference in the Zephyr Bluetooth mesh configuration
+// server, where the NULL flows through model->user_data across two
+// functions and a goto-based error path. The bug had survived three years
+// of testing because triggering it requires model->user_data to actually be
+// NULL; PATA finds it statically because the path-based alias analysis
+// keeps cfg (in friend_set), cfg (in send_friend_status) and
+// *(&model->user_data) in one alias class.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pata "repro"
+	"repro/internal/oscorpus"
+)
+
+func main() {
+	var cs oscorpus.Case
+	for _, c := range oscorpus.PaperCases() {
+		if c.Name == "zephyr-cfg-srv" {
+			cs = c
+		}
+	}
+	fmt.Println("== Figure 3: Zephyr bluetooth cfg_srv null-pointer dereference ==")
+	fmt.Println(cs.Sources["cfg_srv.c"])
+
+	fmt.Println("-- full PATA --")
+	res, err := pata.AnalyzeSources(cs.Name, cs.Sources, pata.Config{Checkers: []string{"npd"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res)
+
+	fmt.Println("\n-- PATA-NA (no alias analysis, §5.4) --")
+	na, err := pata.AnalyzeSources(cs.Name, cs.Sources, pata.Config{Checkers: []string{"npd"}, NoAlias: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(na)
+	if len(res.Bugs) > 0 && len(na.Bugs) == 0 {
+		fmt.Println("\nPATA finds the bug; without aliasing the NULL never reaches the dereference —")
+		fmt.Println("exactly the paper's argument for path-based alias analysis.")
+	}
+}

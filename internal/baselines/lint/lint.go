@@ -1,0 +1,299 @@
+// Package lint implements path-insensitive, intraprocedural pattern
+// checkers standing in for Cppcheck, Coccinelle and Smatch in the paper's §6
+// comparison. Each stand-in reproduces the mechanism the paper credits (or
+// blames) the real tool for: no inter-procedural analysis, no alias
+// analysis, and no path-feasibility validation — so they find simple local
+// bugs, miss alias/interprocedural bugs, and report false positives on
+// guarded or infeasible paths.
+package lint
+
+import (
+	"sort"
+
+	"repro/internal/cir"
+	"repro/internal/typestate"
+)
+
+// Finding is one lint report.
+type Finding struct {
+	Tool  string
+	Type  typestate.BugType
+	Instr cir.Instr
+	Fn    *cir.Function
+}
+
+// Tool is a lint-style analyzer.
+type Tool interface {
+	Name() string
+	Check(fn *cir.Function) []Finding
+}
+
+// Run applies a tool to every defined function of the module.
+func Run(tool Tool, mod *cir.Module) []Finding {
+	var out []Finding
+	for _, fn := range mod.SortedFuncs() {
+		if fn.IsDecl() {
+			continue
+		}
+		out = append(out, tool.Check(fn)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Instr.GID() < out[j].Instr.GID() })
+	return out
+}
+
+// derefBase returns the pointer value dereferenced by in, or nil. Addresses
+// rooted at allocas/globals are safe storage, as in the main engine.
+func derefBase(in cir.Instr) cir.Value {
+	switch t := in.(type) {
+	case *cir.Load:
+		if !stackRooted(t.Addr) {
+			return t.Addr
+		}
+	case *cir.Store:
+		if !stackRooted(t.Addr) {
+			return t.Addr
+		}
+	case *cir.FieldAddr:
+		if !stackRooted(t.Base) {
+			return t.Base
+		}
+	case *cir.IndexAddr:
+		if !stackRooted(t.Base) {
+			return t.Base
+		}
+	}
+	return nil
+}
+
+func stackRooted(v cir.Value) bool {
+	switch t := v.(type) {
+	case *cir.Global:
+		return true
+	case *cir.Register:
+		if t.Def == nil {
+			return false
+		}
+		switch d := t.Def.(type) {
+		case *cir.Alloca:
+			return true
+		case *cir.FieldAddr:
+			return stackRooted(d.Base)
+		case *cir.IndexAddr:
+			return stackRooted(d.Base)
+		}
+	}
+	return false
+}
+
+// slotOf resolves the local slot a loaded value came from, so source-level
+// variables can be matched across loads (lint tools reason about source
+// names, which correspond to slots).
+func slotOf(v cir.Value) *cir.Register {
+	r, ok := v.(*cir.Register)
+	if !ok || r.Def == nil {
+		return nil
+	}
+	if ld, ok := r.Def.(*cir.Load); ok {
+		if ar, ok := ld.Addr.(*cir.Register); ok && ar.Def != nil {
+			if _, isAlloca := ar.Def.(*cir.Alloca); isAlloca {
+				return ar
+			}
+		}
+	}
+	return nil
+}
+
+// ---- Cppcheck stand-in ----
+
+// Cppcheck flags (a) dereferences of a variable after an explicit NULL
+// assignment in straight-line order, (b) loads of a local before any store,
+// and (c) functions that allocate but never free or export the pointer. All
+// three are linear scans without path or alias reasoning.
+type Cppcheck struct{}
+
+// Name implements Tool.
+func (Cppcheck) Name() string { return "cppcheck" }
+
+// Check implements Tool.
+func (Cppcheck) Check(fn *cir.Function) []Finding {
+	var out []Finding
+	nulled := map[*cir.Register]bool{} // slot -> currently NULL-assigned
+	stored := map[*cir.Register]bool{} // slot -> ever stored
+	var mallocs []*cir.Call
+	freed := false
+	escaped := false
+
+	fn.Instrs(func(in cir.Instr) {
+		switch t := in.(type) {
+		case *cir.Store:
+			if ar, ok := t.Addr.(*cir.Register); ok && isAlloca(ar) {
+				stored[ar] = true
+				nulled[ar] = cir.IsNullConst(t.Val)
+			}
+			if !stackRooted(t.Addr) {
+				escaped = true
+			}
+		case *cir.Load:
+			if ar, ok := t.Addr.(*cir.Register); ok && isAlloca(ar) {
+				// Only flag scalar integer locals; pointer and aggregate
+				// slots need reasoning cppcheck does not do.
+				if pointee := cir.Pointee(ar.Typ); !stored[ar] && cir.IsInteger(pointee) {
+					out = append(out, Finding{Tool: "cppcheck", Type: typestate.UVA, Instr: in, Fn: fn})
+					stored[ar] = true // report once per slot
+				}
+			}
+		case *cir.Call:
+			switch classify(t.Callee) {
+			case typestate.IntrAlloc, typestate.IntrZeroAlloc:
+				mallocs = append(mallocs, t)
+			case typestate.IntrFree:
+				freed = true
+			}
+		case *cir.Ret:
+			if t.Val != nil {
+				escaped = true
+			}
+		}
+		if base := derefBase(in); base != nil {
+			if slot := slotOf(base); slot != nil && nulled[slot] {
+				out = append(out, Finding{Tool: "cppcheck", Type: typestate.NPD, Instr: in, Fn: fn})
+				nulled[slot] = false
+			}
+		}
+	})
+	if len(mallocs) > 0 && !freed && !escaped {
+		out = append(out, Finding{Tool: "cppcheck", Type: typestate.ML, Instr: mallocs[0], Fn: fn})
+	}
+	return out
+}
+
+// ---- Coccinelle stand-in ----
+
+// Coccinelle applies the null-deref semantic patch: a pointer compared to
+// NULL and dereferenced later in the same function without an intervening
+// reassignment — purely syntactic ordering, so guarded dereferences on the
+// non-NULL branch become false positives and checks protecting later code
+// are not understood.
+type Coccinelle struct{}
+
+// Name implements Tool.
+func (Coccinelle) Name() string { return "coccinelle" }
+
+// Check implements Tool.
+func (Coccinelle) Check(fn *cir.Function) []Finding {
+	var out []Finding
+	checked := map[*cir.Register]cir.Instr{} // slot -> null-check position
+	fn.Instrs(func(in cir.Instr) {
+		switch t := in.(type) {
+		case *cir.Cmp:
+			if cir.IsNullConst(t.Y) || (cir.IsNullConst(t.X)) {
+				val := t.X
+				if cir.IsNullConst(t.X) {
+					val = t.Y
+				}
+				if slot := slotOf(val); slot != nil {
+					checked[slot] = in
+				}
+			}
+		case *cir.Store:
+			if ar, ok := t.Addr.(*cir.Register); ok && isAlloca(ar) {
+				delete(checked, ar) // reassignment invalidates the check
+			}
+		}
+		if base := derefBase(in); base != nil {
+			if slot := slotOf(base); slot != nil {
+				if _, ok := checked[slot]; ok {
+					out = append(out, Finding{Tool: "coccinelle", Type: typestate.NPD, Instr: in, Fn: fn})
+					delete(checked, slot)
+				}
+			}
+		}
+	})
+	return out
+}
+
+// ---- Smatch stand-in ----
+
+// Smatch is a smarter flow checker: it only keeps the check-then-deref
+// report when the dereference is NOT inside the block structure guarded by
+// the non-NULL direction — approximated here by suppressing dereferences
+// whose block is the immediate true/false successor of the check's branch.
+// It also repeats Cppcheck's UVA and ML scans with the same suppression.
+type Smatch struct{}
+
+// Name implements Tool.
+func (Smatch) Name() string { return "smatch" }
+
+// Check implements Tool.
+func (Smatch) Check(fn *cir.Function) []Finding {
+	// Blocks directly guarded by a null check: deref of the checked slot
+	// inside them is considered safe.
+	safe := map[*cir.Block]map[*cir.Register]bool{}
+	fn.Instrs(func(in cir.Instr) {
+		br, ok := in.(*cir.CondBr)
+		if !ok {
+			return
+		}
+		reg, ok := br.Cond.(*cir.Register)
+		if !ok || reg.Def == nil {
+			return
+		}
+		cmp, ok := reg.Def.(*cir.Cmp)
+		if !ok {
+			return
+		}
+		var val cir.Value
+		switch {
+		case cir.IsNullConst(cmp.Y):
+			val = cmp.X
+		case cir.IsNullConst(cmp.X):
+			val = cmp.Y
+		default:
+			return
+		}
+		slot := slotOf(val)
+		if slot == nil {
+			return
+		}
+		// The non-NULL block is safe for this slot.
+		nonNull := br.False
+		if cmp.Pred == cir.PredNE {
+			nonNull = br.True
+		}
+		if safe[nonNull] == nil {
+			safe[nonNull] = map[*cir.Register]bool{}
+		}
+		safe[nonNull][slot] = true
+	})
+
+	var out []Finding
+	for _, f := range (Coccinelle{}).Check(fn) {
+		base := derefBase(f.Instr)
+		slot := slotOf(base)
+		if slot != nil && safe[f.Instr.Block()][slot] {
+			continue
+		}
+		f.Tool = "smatch"
+		out = append(out, f)
+	}
+	for _, f := range (Cppcheck{}).Check(fn) {
+		if f.Type == typestate.NPD {
+			continue // covered above
+		}
+		f.Tool = "smatch"
+		out = append(out, f)
+	}
+	return out
+}
+
+func isAlloca(r *cir.Register) bool {
+	if r.Def == nil {
+		return false
+	}
+	_, ok := r.Def.(*cir.Alloca)
+	return ok
+}
+
+var intrinsics = typestate.DefaultIntrinsics()
+
+func classify(callee string) typestate.Intrinsic { return intrinsics.Classify(callee) }

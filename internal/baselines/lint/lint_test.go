@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"testing"
+
+	"repro/internal/minicc"
+	"repro/internal/typestate"
+)
+
+func findings(t *testing.T, tool Tool, src string) []Finding {
+	t.Helper()
+	mod := minicc.MustLower("m", map[string]string{"t.c": src})
+	return Run(tool, mod)
+}
+
+func TestCppcheckNullAssignDeref(t *testing.T) {
+	fs := findings(t, Cppcheck{}, `
+void f(char *p) {
+	p = NULL;
+	use(*p);
+}`)
+	if len(fs) != 1 || fs[0].Type != typestate.NPD {
+		t.Errorf("findings = %+v", fs)
+	}
+}
+
+func TestCppcheckMissesInterprocedural(t *testing.T) {
+	fs := findings(t, Cppcheck{}, `
+static void callee(char *p) { use(*p); }
+void f(char *p) {
+	if (!p)
+		callee(p);
+}`)
+	for _, f := range fs {
+		if f.Type == typestate.NPD {
+			t.Errorf("cppcheck should miss interprocedural NPD, found %+v", f)
+		}
+	}
+}
+
+func TestCppcheckUVA(t *testing.T) {
+	fs := findings(t, Cppcheck{}, `
+int f(void) {
+	int x;
+	return x + 1;
+}`)
+	if len(fs) != 1 || fs[0].Type != typestate.UVA {
+		t.Errorf("findings = %+v", fs)
+	}
+	// Initialized local: no report.
+	fs = findings(t, Cppcheck{}, `
+int f(void) {
+	int x = 0;
+	return x + 1;
+}`)
+	if len(fs) != 0 {
+		t.Errorf("initialized local flagged: %+v", fs)
+	}
+}
+
+func TestCppcheckML(t *testing.T) {
+	fs := findings(t, Cppcheck{}, `
+void f(int n) {
+	char *p = (char *)malloc(n);
+	use_opaque(n);
+}`)
+	if len(fs) != 1 || fs[0].Type != typestate.ML {
+		t.Errorf("findings = %+v", fs)
+	}
+	// Freeing or returning suppresses.
+	fs = findings(t, Cppcheck{}, `
+char *f(int n) {
+	char *p = (char *)malloc(n);
+	return p;
+}`)
+	for _, f := range fs {
+		if f.Type == typestate.ML {
+			t.Errorf("returned pointer flagged as leak")
+		}
+	}
+}
+
+func TestCoccinelleCheckThenDeref(t *testing.T) {
+	// Real bug: deref on the NULL path — coccinelle flags it (correctly,
+	// though by accident of ordering).
+	fs := findings(t, Coccinelle{}, `
+struct s { int f; };
+int f(struct s *p) {
+	if (!p)
+		return p->f;
+	return 0;
+}`)
+	if len(fs) == 0 {
+		t.Error("check-then-deref not flagged")
+	}
+	// False positive: the guarded deref is also flagged because coccinelle
+	// has no path reasoning.
+	fs = findings(t, Coccinelle{}, `
+struct s { int f; };
+int f(struct s *p) {
+	if (!p)
+		return 0;
+	return p->f;
+}`)
+	if len(fs) == 0 {
+		t.Error("expected the guarded-deref false positive (path-insensitive)")
+	}
+}
+
+func TestSmatchSuppressesGuardedDeref(t *testing.T) {
+	src := `
+struct s { int f; };
+int f(struct s *p) {
+	if (p != NULL) {
+		return p->f;
+	}
+	return 0;
+}`
+	cocc := findings(t, Coccinelle{}, src)
+	smatch := findings(t, Smatch{}, src)
+	if len(cocc) == 0 {
+		t.Fatal("coccinelle should flag the guarded deref (it is its FP)")
+	}
+	if len(smatch) != 0 {
+		t.Errorf("smatch should suppress the immediately guarded deref: %+v", smatch)
+	}
+}
+
+func TestSmatchStillFlagsNullPathDeref(t *testing.T) {
+	fs := findings(t, Smatch{}, `
+struct s { int f; };
+int f(struct s *p) {
+	if (!p)
+		return p->f;
+	return 0;
+}`)
+	found := false
+	for _, f := range fs {
+		if f.Type == typestate.NPD {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("smatch should flag deref on the NULL path")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	src := `
+void a(char *p) { p = NULL; use(*p); }
+void b(char *q) { q = NULL; use(*q); }
+`
+	f1 := findings(t, Cppcheck{}, src)
+	f2 := findings(t, Cppcheck{}, src)
+	if len(f1) != 2 || len(f2) != 2 {
+		t.Fatalf("want 2 findings, got %d/%d", len(f1), len(f2))
+	}
+	for i := range f1 {
+		if f1[i].Instr.GID() != f2[i].Instr.GID() {
+			t.Error("ordering not deterministic")
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package pointsto
+
+import (
+	"testing"
+
+	"repro/internal/cir"
+	"repro/internal/minicc"
+)
+
+func analyze(t *testing.T, src string) *Analysis {
+	t.Helper()
+	mod := minicc.MustLower("m", map[string]string{"t.c": src})
+	return Run(mod)
+}
+
+// loadOf returns the destination register of the first load from the named
+// slot in fn.
+func loadsOf(fn *cir.Function, slotName string) []*cir.Register {
+	var out []*cir.Register
+	fn.Instrs(func(in cir.Instr) {
+		ld, ok := in.(*cir.Load)
+		if !ok {
+			return
+		}
+		if ar, ok := ld.Addr.(*cir.Register); ok && ar.Name == slotName {
+			out = append(out, ld.Dst)
+		}
+	})
+	return out
+}
+
+func TestMallocFlowsThroughSlot(t *testing.T) {
+	a := analyze(t, `
+void f(int n) {
+	char *p = (char *)malloc(n);
+	char *q = p;
+	use(q);
+}`)
+	fn := a.Mod.Funcs["f"]
+	pl := loadsOf(fn, "p")
+	ql := loadsOf(fn, "q")
+	if len(pl) == 0 || len(ql) == 0 {
+		t.Fatal("loads not found")
+	}
+	if len(a.Pts(pl[0])) == 0 {
+		t.Fatal("p has empty pts")
+	}
+	if !a.Alias(pl[0], ql[0]) {
+		t.Error("p and q must alias through the copy")
+	}
+}
+
+func TestEntryParamHasEmptyPts(t *testing.T) {
+	// The paper's D1: no caller exists, so the parameter's points-to set is
+	// empty and aliasing through it is invisible.
+	a := analyze(t, `
+struct dev { struct dev *plat; };
+int probe(struct dev *pdev) {
+	struct dev *d = pdev;
+	use(d);
+	return 0;
+}`)
+	fn := a.Mod.Funcs["probe"]
+	if len(a.Pts(fn.Params[0])) != 0 {
+		t.Errorf("entry param pts should be empty, got %v", a.Pts(fn.Params[0]))
+	}
+	dl := loadsOf(fn, "d")
+	pl := loadsOf(fn, "pdev")
+	if len(dl) > 0 && len(pl) > 0 && a.Alias(dl[0], pl[0]) {
+		t.Error("aliasing through an empty-pts param must be invisible (D1)")
+	}
+}
+
+func TestCalledParamGetsCallerPts(t *testing.T) {
+	a := analyze(t, `
+static void callee(char *x) { use(x); }
+void root(int n) {
+	char *p = (char *)malloc(n);
+	callee(p);
+}`)
+	callee := a.Mod.Funcs["callee"]
+	if len(a.Pts(callee.Params[0])) == 0 {
+		t.Error("called param should receive the heap object")
+	}
+}
+
+func TestFieldSensitivity(t *testing.T) {
+	a := analyze(t, `
+struct s { char *f; char *g; };
+void root(int n) {
+	struct s st;
+	st.f = (char *)malloc(n);
+	use_struct(st.g);
+}`)
+	fn := a.Mod.Funcs["root"]
+	var faddrs []*cir.Register
+	fn.Instrs(func(in cir.Instr) {
+		if fa, ok := in.(*cir.FieldAddr); ok {
+			faddrs = append(faddrs, fa.Dst)
+		}
+	})
+	if len(faddrs) < 2 {
+		t.Fatalf("field addrs = %d", len(faddrs))
+	}
+	if a.Alias(faddrs[0], faddrs[1]) {
+		t.Error("&st.f and &st.g must not alias (field sensitivity)")
+	}
+}
+
+func TestReturnBinding(t *testing.T) {
+	a := analyze(t, `
+static char *mk(int n) { return (char *)malloc(n); }
+void root(int n) {
+	char *p = mk(n);
+	use(p);
+}`)
+	fn := a.Mod.Funcs["root"]
+	pl := loadsOf(fn, "p")
+	if len(pl) == 0 || len(a.Pts(pl[0])) == 0 {
+		t.Error("returned heap object should flow to the caller")
+	}
+}
+
+func TestSVFNullFindsMallocCheckedDeref(t *testing.T) {
+	a := analyze(t, `
+struct s { int f; };
+int root(int n) {
+	struct s *p = (struct s *)malloc(n);
+	if (!p)
+		return 0;
+	return p->f;
+}`)
+	fs := SVFNull(a)
+	// Path-insensitive: the guarded deref is flagged (a false positive
+	// PATA would drop, §6 point 2).
+	if len(fs) == 0 {
+		t.Error("SVF-Null should flag the deref after a null check")
+	}
+}
+
+func TestSVFNullMissesEntryParamBug(t *testing.T) {
+	// Figure 1's pattern: the alias runs through an entry parameter with an
+	// empty points-to set, so SVF-Null is blind to it.
+	a := analyze(t, `
+struct dev { int flags; };
+int probe(struct dev *pdev) {
+	struct dev *d = pdev;
+	if (!d)
+		return pdev->flags;
+	return 0;
+}`)
+	fs := SVFNull(a)
+	for _, f := range fs {
+		if f.Fn.Name == "probe" && f.Instr.Position().Line == 6 {
+			t.Error("SVF-Null should miss the empty-pts alias bug (D1)")
+		}
+	}
+}
+
+func TestIterationsTerminate(t *testing.T) {
+	a := analyze(t, `
+struct node { struct node *next; };
+void root(int n) {
+	struct node *a = (struct node *)malloc(n);
+	struct node *b = (struct node *)malloc(n);
+	a->next = b;
+	b->next = a;
+	use(a);
+}`)
+	if a.Iterations == 0 || a.Iterations > 100 {
+		t.Errorf("iterations = %d", a.Iterations)
+	}
+}

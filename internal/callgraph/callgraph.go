@@ -1,0 +1,110 @@
+// Package callgraph builds the function-information database of the paper's
+// P1 phase: direct call edges across all lowered source files, and the set
+// of entry functions — functions with no explicit caller in the analyzed
+// code, such as driver interface functions installed via ops structs
+// (Figure 1). Entry functions are where the path-sensitive analysis starts.
+package callgraph
+
+import (
+	"sort"
+
+	"repro/internal/cir"
+)
+
+// Graph is the module call graph.
+type Graph struct {
+	Mod *cir.Module
+	// Callees maps a function to the set of functions it calls directly.
+	Callees map[string][]string
+	// Callers maps a function to its direct callers.
+	Callers map[string][]string
+	// NumCallSites counts all direct call instructions.
+	NumCallSites int
+}
+
+// Build constructs the call graph of mod.
+func Build(mod *cir.Module) *Graph {
+	g := &Graph{
+		Mod:     mod,
+		Callees: make(map[string][]string),
+		Callers: make(map[string][]string),
+	}
+	calleeSets := make(map[string]map[string]bool)
+	callerSets := make(map[string]map[string]bool)
+	for _, fn := range mod.SortedFuncs() {
+		fn.Instrs(func(in cir.Instr) {
+			call, ok := in.(*cir.Call)
+			if !ok {
+				return
+			}
+			g.NumCallSites++
+			if calleeSets[fn.Name] == nil {
+				calleeSets[fn.Name] = make(map[string]bool)
+			}
+			if callerSets[call.Callee] == nil {
+				callerSets[call.Callee] = make(map[string]bool)
+			}
+			calleeSets[fn.Name][call.Callee] = true
+			callerSets[call.Callee][fn.Name] = true
+		})
+	}
+	for name, set := range calleeSets {
+		g.Callees[name] = sortedKeys(set)
+	}
+	for name, set := range callerSets {
+		g.Callers[name] = sortedKeys(set)
+	}
+	return g
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EntryFunctions returns the defined functions without explicit callers, in
+// name order. These are the analysis roots of the paper's AnalyzeCode
+// (Figure 6 line 1): module interface functions reached only through
+// function-pointer registration, plus true roots.
+func (g *Graph) EntryFunctions() []*cir.Function {
+	var out []*cir.Function
+	for _, fn := range g.Mod.SortedFuncs() {
+		if fn.IsDecl() {
+			continue
+		}
+		if len(g.Callers[fn.Name]) == 0 {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// IsEntry reports whether the named function has no explicit caller.
+func (g *Graph) IsEntry(name string) bool {
+	fn, ok := g.Mod.Funcs[name]
+	return ok && !fn.IsDecl() && len(g.Callers[name]) == 0
+}
+
+// ReachableFrom returns the set of defined functions reachable from root
+// through direct calls (root included).
+func (g *Graph) ReachableFrom(root string) map[string]bool {
+	seen := map[string]bool{}
+	var walk func(string)
+	walk = func(name string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		for _, c := range g.Callees[name] {
+			if fn, ok := g.Mod.Funcs[c]; ok && !fn.IsDecl() {
+				walk(c)
+			}
+		}
+	}
+	walk(root)
+	return seen
+}

@@ -1,0 +1,87 @@
+package callgraph
+
+import (
+	"testing"
+
+	"repro/internal/minicc"
+)
+
+const src = `
+static int helper(int a) { return a + 1; }
+static int middle(int a) { return helper(a); }
+int top(int a) { return middle(a) + helper(a); }
+static int probe_fn(int a) { return helper(a); }
+static struct driver drv = { .probe = probe_fn };
+int unused_decl(int a);
+`
+
+func TestBuild(t *testing.T) {
+	mod := minicc.MustLower("m", map[string]string{"a.c": src})
+	g := Build(mod)
+	if got := g.Callees["top"]; len(got) != 2 {
+		t.Errorf("top callees = %v", got)
+	}
+	if got := g.Callers["helper"]; len(got) != 3 {
+		t.Errorf("helper callers = %v", got)
+	}
+	if g.NumCallSites != 4 {
+		t.Errorf("call sites = %d, want 4", g.NumCallSites)
+	}
+}
+
+func TestEntryFunctions(t *testing.T) {
+	mod := minicc.MustLower("m", map[string]string{"a.c": src})
+	g := Build(mod)
+	entries := map[string]bool{}
+	for _, fn := range g.EntryFunctions() {
+		entries[fn.Name] = true
+	}
+	// top has no caller; probe_fn is only referenced via the ops struct so
+	// it has no *explicit* caller — the Figure 1 situation.
+	if !entries["top"] || !entries["probe_fn"] {
+		t.Errorf("entries = %v, want top and probe_fn", entries)
+	}
+	if entries["helper"] || entries["middle"] {
+		t.Errorf("called functions must not be entries: %v", entries)
+	}
+	if entries["unused_decl"] {
+		t.Error("declarations are never entries")
+	}
+	if !mod.AddressTaken["probe_fn"] {
+		t.Error("probe_fn should be recorded address-taken")
+	}
+}
+
+func TestIsEntryAndReachable(t *testing.T) {
+	mod := minicc.MustLower("m", map[string]string{"a.c": src})
+	g := Build(mod)
+	if !g.IsEntry("top") || g.IsEntry("helper") || g.IsEntry("missing") {
+		t.Error("IsEntry misclassifies")
+	}
+	r := g.ReachableFrom("top")
+	for _, want := range []string{"top", "middle", "helper"} {
+		if !r[want] {
+			t.Errorf("reachable from top missing %s", want)
+		}
+	}
+	if r["probe_fn"] {
+		t.Error("probe_fn is not reachable from top")
+	}
+}
+
+func TestRecursionDoesNotLoop(t *testing.T) {
+	mod := minicc.MustLower("m", map[string]string{"a.c": `
+int even(int n);
+int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+int root(int n) { return even(n); }
+`})
+	g := Build(mod)
+	r := g.ReachableFrom("root")
+	if !r["even"] || !r["odd"] {
+		t.Errorf("mutual recursion reachability: %v", r)
+	}
+	if len(g.EntryFunctions()) != 1 {
+		t.Errorf("entries = %v", g.EntryFunctions())
+	}
+}

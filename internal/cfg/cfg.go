@@ -1,0 +1,118 @@
+// Package cfg provides control-flow-graph utilities over CIR functions:
+// predecessor maps, reverse post-order, back-edge (loop) detection and
+// reachability. The path-sensitive engine uses back edges to implement the
+// paper's unroll-each-loop-once rule, and the baselines use the orders for
+// their dataflow fixpoints.
+package cfg
+
+import (
+	"repro/internal/cir"
+)
+
+// Graph is the CFG of one function.
+type Graph struct {
+	Fn    *cir.Function
+	Preds map[*cir.Block][]*cir.Block
+	// BackEdges maps a block to the set of its successors reached via a
+	// back edge (a DFS retreating edge), i.e. loop edges.
+	BackEdges map[*cir.Block]map[*cir.Block]bool
+	// RPO is the blocks in reverse post-order from the entry.
+	RPO []*cir.Block
+	// Reachable is the set of blocks reachable from the entry.
+	Reachable map[*cir.Block]bool
+}
+
+// New builds the CFG for fn. Declarations yield an empty graph.
+func New(fn *cir.Function) *Graph {
+	g := &Graph{
+		Fn:        fn,
+		Preds:     make(map[*cir.Block][]*cir.Block),
+		BackEdges: make(map[*cir.Block]map[*cir.Block]bool),
+		Reachable: make(map[*cir.Block]bool),
+	}
+	if fn.IsDecl() {
+		return g
+	}
+	for _, b := range fn.Blocks {
+		for _, s := range b.Succs() {
+			g.Preds[s] = append(g.Preds[s], b)
+		}
+	}
+	// DFS from entry: classify back edges, compute post-order.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[*cir.Block]int)
+	var post []*cir.Block
+	type frame struct {
+		b    *cir.Block
+		next int
+	}
+	stack := []frame{{b: fn.Entry()}}
+	color[fn.Entry()] = grey
+	g.Reachable[fn.Entry()] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		succs := f.b.Succs()
+		if f.next < len(succs) {
+			s := succs[f.next]
+			f.next++
+			switch color[s] {
+			case white:
+				color[s] = grey
+				g.Reachable[s] = true
+				stack = append(stack, frame{b: s})
+			case grey:
+				if g.BackEdges[f.b] == nil {
+					g.BackEdges[f.b] = make(map[*cir.Block]bool)
+				}
+				g.BackEdges[f.b][s] = true
+			}
+			continue
+		}
+		color[f.b] = black
+		post = append(post, f.b)
+		stack = stack[:len(stack)-1]
+	}
+	g.RPO = make([]*cir.Block, len(post))
+	for i, b := range post {
+		g.RPO[len(post)-1-i] = b
+	}
+	return g
+}
+
+// IsBackEdge reports whether from→to is a loop (retreating) edge.
+func (g *Graph) IsBackEdge(from, to *cir.Block) bool {
+	return g.BackEdges[from][to]
+}
+
+// HasLoop reports whether the function contains any back edge.
+func (g *Graph) HasLoop() bool { return len(g.BackEdges) > 0 }
+
+// NumReachable returns the number of blocks reachable from the entry.
+func (g *Graph) NumReachable() int { return len(g.Reachable) }
+
+// FirstInstrSuccessors returns, for an instruction, the instructions that can
+// execute immediately after it: the next instruction in the block, or the
+// first instruction of each successor block for terminators. This is the
+// Next() function of the paper's Figure 6 pseudocode.
+func FirstInstrSuccessors(in cir.Instr) []cir.Instr {
+	blk := in.Block()
+	for i, cur := range blk.Instrs {
+		if cur == in {
+			if i+1 < len(blk.Instrs) {
+				return []cir.Instr{blk.Instrs[i+1]}
+			}
+			break
+		}
+	}
+	var out []cir.Instr
+	for _, s := range blk.Succs() {
+		if len(s.Instrs) > 0 {
+			out = append(out, s.Instrs[0])
+		}
+	}
+	return out
+}

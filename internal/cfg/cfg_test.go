@@ -1,0 +1,142 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/cir"
+)
+
+// buildDiamond builds:
+//
+//	entry -> then -> join
+//	entry -> else -> join
+//	join  -> ret
+func buildDiamond(t *testing.T) (*cir.Module, *cir.Function) {
+	t.Helper()
+	m := cir.NewModule("t")
+	fn := m.NewFunction("f", &cir.FuncType{Result: cir.Void})
+	b := cir.NewBuilder(fn)
+	then := fn.NewBlock("then")
+	els := fn.NewBlock("else")
+	join := fn.NewBlock("join")
+	c := b.Cmp("c", cir.PredEQ, cir.IntConst(cir.I64, 1), cir.IntConst(cir.I64, 2))
+	b.CondBr(c, then, els)
+	b.SetBlock(then)
+	b.Br(join)
+	b.SetBlock(els)
+	b.Br(join)
+	b.SetBlock(join)
+	b.Ret(nil)
+	m.AssignGIDs()
+	return m, fn
+}
+
+func TestDiamond(t *testing.T) {
+	_, fn := buildDiamond(t)
+	g := New(fn)
+	if g.HasLoop() {
+		t.Error("diamond has no loop")
+	}
+	if g.NumReachable() != 4 {
+		t.Errorf("reachable = %d, want 4", g.NumReachable())
+	}
+	join := fn.Blocks[3]
+	if len(g.Preds[join]) != 2 {
+		t.Errorf("join preds = %d, want 2", len(g.Preds[join]))
+	}
+	if len(g.RPO) != 4 || g.RPO[0] != fn.Entry() {
+		t.Errorf("bad RPO: %v", g.RPO)
+	}
+	// join must come after both then and else in RPO.
+	idx := map[*cir.Block]int{}
+	for i, b := range g.RPO {
+		idx[b] = i
+	}
+	if idx[join] < idx[fn.Blocks[1]] || idx[join] < idx[fn.Blocks[2]] {
+		t.Error("join precedes a predecessor in RPO")
+	}
+}
+
+func buildLoop(t *testing.T) *cir.Function {
+	t.Helper()
+	m := cir.NewModule("t")
+	fn := m.NewFunction("f", &cir.FuncType{Result: cir.Void})
+	b := cir.NewBuilder(fn)
+	head := fn.NewBlock("head")
+	body := fn.NewBlock("body")
+	exit := fn.NewBlock("exit")
+	b.Br(head)
+	b.SetBlock(head)
+	c := b.Cmp("c", cir.PredLT, cir.IntConst(cir.I64, 0), cir.IntConst(cir.I64, 10))
+	b.CondBr(c, body, exit)
+	b.SetBlock(body)
+	b.Br(head) // back edge
+	b.SetBlock(exit)
+	b.Ret(nil)
+	m.AssignGIDs()
+	return fn
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	fn := buildLoop(t)
+	g := New(fn)
+	if !g.HasLoop() {
+		t.Fatal("loop not detected")
+	}
+	head, body := fn.Blocks[1], fn.Blocks[2]
+	if !g.IsBackEdge(body, head) {
+		t.Error("body->head should be a back edge")
+	}
+	if g.IsBackEdge(fn.Entry(), head) {
+		t.Error("entry->head is not a back edge")
+	}
+}
+
+func TestUnreachableBlock(t *testing.T) {
+	m := cir.NewModule("t")
+	fn := m.NewFunction("f", &cir.FuncType{Result: cir.Void})
+	b := cir.NewBuilder(fn)
+	b.Ret(nil)
+	dead := fn.NewBlock("dead")
+	b.SetBlock(dead)
+	b.Ret(nil)
+	m.AssignGIDs()
+	g := New(fn)
+	if g.Reachable[dead] {
+		t.Error("dead block should be unreachable")
+	}
+	if g.NumReachable() != 1 {
+		t.Errorf("reachable = %d, want 1", g.NumReachable())
+	}
+}
+
+func TestDeclGraph(t *testing.T) {
+	m := cir.NewModule("t")
+	fn := m.NewFunction("ext", &cir.FuncType{Result: cir.Void})
+	g := New(fn)
+	if g.NumReachable() != 0 || g.HasLoop() {
+		t.Error("declaration should yield an empty graph")
+	}
+}
+
+func TestFirstInstrSuccessors(t *testing.T) {
+	_, fn := buildDiamond(t)
+	entry := fn.Entry()
+	cmp := entry.Instrs[0]
+	succ := FirstInstrSuccessors(cmp)
+	if len(succ) != 1 || succ[0] != entry.Instrs[1] {
+		t.Errorf("mid-block successor wrong: %v", succ)
+	}
+	condbr := entry.Instrs[1]
+	succ = FirstInstrSuccessors(condbr)
+	if len(succ) != 2 {
+		t.Fatalf("condbr successors = %d, want 2", len(succ))
+	}
+	if succ[0].Block() != fn.Blocks[1] || succ[1].Block() != fn.Blocks[2] {
+		t.Error("condbr successors point at wrong blocks")
+	}
+	ret := fn.Blocks[3].Instrs[0]
+	if got := FirstInstrSuccessors(ret); len(got) != 0 {
+		t.Errorf("ret should have no successors, got %v", got)
+	}
+}

@@ -1,0 +1,346 @@
+package cir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeEquality(t *testing.T) {
+	s := &StructType{Name: "dev", Fields: []Field{{Name: "plat", Type: PointerTo(I32)}}}
+	cases := []struct {
+		a, b Type
+		want bool
+	}{
+		{I32, &IntType{Width: 32}, true},
+		{I32, I64, false},
+		{Void, Void, true},
+		{PointerTo(I32), PointerTo(I32), true},
+		{PointerTo(I32), PointerTo(I64), false},
+		{s, &StructType{Name: "dev"}, true},
+		{s, &StructType{Name: "dev2"}, false},
+		{&ArrayType{Elem: I8, Len: 4}, &ArrayType{Elem: I8, Len: 4}, true},
+		{&ArrayType{Elem: I8, Len: 4}, &ArrayType{Elem: I8, Len: 5}, false},
+		{PointerTo(s), PointerTo(s), true},
+		{Void, I32, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("Equal(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestStructFieldLookup(t *testing.T) {
+	s := &StructType{Name: "ctx", Fields: []Field{
+		{Name: "a", Type: I32},
+		{Name: "b", Type: PointerTo(I32)},
+	}}
+	if got := s.FieldIndex("b"); got != 1 {
+		t.Errorf("FieldIndex(b) = %d, want 1", got)
+	}
+	if got := s.FieldIndex("missing"); got != -1 {
+		t.Errorf("FieldIndex(missing) = %d, want -1", got)
+	}
+	if ft := s.FieldType("a"); !ft.Equal(I32) {
+		t.Errorf("FieldType(a) = %s, want i32", ft)
+	}
+	if ft := s.FieldType("nope"); ft != nil {
+		t.Errorf("FieldType(nope) = %v, want nil", ft)
+	}
+}
+
+func TestConstHelpers(t *testing.T) {
+	n := NullConst(PointerTo(I32))
+	if !IsNullConst(n) || !IsZero(n) {
+		t.Error("NullConst should be null and zero")
+	}
+	z := IntConst(I32, 0)
+	if !IsZero(z) || IsNullConst(z) {
+		t.Error("integer 0 is zero but not a null pointer")
+	}
+	zp := &Const{Typ: PointerTo(I32), Val: 0}
+	if !IsNullConst(zp) {
+		t.Error("pointer-typed 0 should be a null constant")
+	}
+	s := StrConst("hi")
+	if IsZero(s) {
+		t.Error("string literal is not zero")
+	}
+	if s.String() != `"hi"` {
+		t.Errorf("StrConst.String() = %s", s.String())
+	}
+}
+
+func TestPredNegate(t *testing.T) {
+	pairs := map[Pred]Pred{
+		PredEQ: PredNE, PredNE: PredEQ,
+		PredLT: PredGE, PredGE: PredLT,
+		PredLE: PredGT, PredGT: PredLE,
+	}
+	for p, want := range pairs {
+		if got := p.Negate(); got != want {
+			t.Errorf("%s.Negate() = %s, want %s", p, got, want)
+		}
+		if got := p.Negate().Negate(); got != p {
+			t.Errorf("double negate of %s = %s", p, got)
+		}
+	}
+}
+
+// buildSimpleFunc builds: func f(p *S) { d = alloca *S; store d <- p;
+// t = load d; fa = &t->x; v = load fa; ret v }
+func buildSimpleFunc(t *testing.T) (*Module, *Function) {
+	t.Helper()
+	m := NewModule("test")
+	st := &StructType{Name: "S", Fields: []Field{{Name: "x", Type: I64}}}
+	m.AddStruct(st)
+	fn := m.NewFunction("f", &FuncType{Params: []Type{PointerTo(st)}, Result: I64})
+	p := fn.AddParam("p", PointerTo(st))
+	b := NewBuilder(fn)
+	d := b.Alloca("d", PointerTo(st))
+	b.Store(d, p)
+	tv := b.Load("t", d)
+	fa := b.FieldAddr("fa", tv, "x")
+	v := b.Load("v", fa)
+	b.Ret(v)
+	m.AssignGIDs()
+	return m, fn
+}
+
+func TestBuilderAndVerify(t *testing.T) {
+	m, fn := buildSimpleFunc(t)
+	if err := Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if fn.NumInstrs() != 6 {
+		t.Errorf("NumInstrs = %d, want 6", fn.NumInstrs())
+	}
+	// GIDs are unique and dense.
+	seen := map[int]bool{}
+	fn.Instrs(func(in Instr) {
+		if in.GID() == 0 {
+			t.Errorf("instruction %s has no GID", in)
+		}
+		if seen[in.GID()] {
+			t.Errorf("duplicate GID %d", in.GID())
+		}
+		seen[in.GID()] = true
+	})
+}
+
+func TestVerifyCatchesDoubleDef(t *testing.T) {
+	m := NewModule("bad")
+	fn := m.NewFunction("g", &FuncType{Result: Void})
+	b := NewBuilder(fn)
+	r := b.Move("a", IntConst(I64, 1))
+	// Manually append a second definition of r.
+	in := &Move{Dst: r, Src: IntConst(I64, 2)}
+	b.Blk.Append(in)
+	b.Ret(nil)
+	m.AssignGIDs()
+	if err := Verify(m); err == nil {
+		t.Fatal("Verify should reject double definition")
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	m := NewModule("bad")
+	fn := m.NewFunction("g", &FuncType{Result: Void})
+	b := NewBuilder(fn)
+	b.Move("a", IntConst(I64, 1))
+	m.AssignGIDs()
+	if err := Verify(m); err == nil {
+		t.Fatal("Verify should reject missing terminator")
+	}
+	if err := Verify(m); !strings.Contains(err.Error(), "terminator") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestVerifyCatchesNonPointerLoad(t *testing.T) {
+	m := NewModule("bad")
+	fn := m.NewFunction("g", &FuncType{Result: Void})
+	b := NewBuilder(fn)
+	x := b.Move("x", IntConst(I64, 1))
+	in := &Load{Dst: fn.NewReg("y", I64), Addr: x}
+	in.Dst.Def = in
+	b.Blk.Append(in)
+	b.Ret(nil)
+	m.AssignGIDs()
+	if err := Verify(m); err == nil {
+		t.Fatal("Verify should reject load from non-pointer")
+	}
+}
+
+func TestBlockSuccs(t *testing.T) {
+	m := NewModule("t")
+	fn := m.NewFunction("h", &FuncType{Result: Void})
+	b := NewBuilder(fn)
+	then := fn.NewBlock("then")
+	els := fn.NewBlock("else")
+	c := b.Cmp("c", PredEQ, IntConst(I64, 1), IntConst(I64, 1))
+	b.CondBr(c, then, els)
+	b.SetBlock(then)
+	b.Ret(nil)
+	b.SetBlock(els)
+	b.Ret(nil)
+	m.AssignGIDs()
+	entry := fn.Entry()
+	succs := entry.Succs()
+	if len(succs) != 2 || succs[0] != then || succs[1] != els {
+		t.Errorf("Succs = %v", succs)
+	}
+	if len(then.Succs()) != 0 {
+		t.Errorf("ret block should have no successors")
+	}
+}
+
+func TestSealedBlockSuppressesEmission(t *testing.T) {
+	m := NewModule("t")
+	fn := m.NewFunction("h", &FuncType{Result: Void})
+	b := NewBuilder(fn)
+	b.Ret(nil)
+	b.Ret(nil) // should be suppressed
+	b.Br(fn.NewBlock("x"))
+	if len(fn.Entry().Instrs) != 1 {
+		t.Errorf("sealed block grew: %d instrs", len(fn.Entry().Instrs))
+	}
+}
+
+func TestModulePrinting(t *testing.T) {
+	m, _ := buildSimpleFunc(t)
+	out := m.String()
+	for _, want := range []string{"func i64 f(", "alloca", "fieldaddr", "ret"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("module printout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPosString(t *testing.T) {
+	if got := (Pos{}).String(); got != "<unknown>" {
+		t.Errorf("empty Pos.String() = %q", got)
+	}
+	if got := (Pos{File: "a.c", Line: 12}).String(); got != "a.c:12" {
+		t.Errorf("Pos.String() = %q", got)
+	}
+}
+
+func TestNumFields(t *testing.T) {
+	s := &StructType{Name: "S", Fields: []Field{{Name: "a", Type: I64}, {Name: "b", Type: I64}}}
+	if got := NumFields(s); got != 2 {
+		t.Errorf("NumFields(S) = %d", got)
+	}
+	if got := NumFields(PointerTo(s)); got != 2 {
+		t.Errorf("NumFields(*S) = %d", got)
+	}
+	if got := NumFields(I64); got != 0 {
+		t.Errorf("NumFields(i64) = %d", got)
+	}
+}
+
+// Property: Negate is an involution for all predicate values, including
+// arbitrary strings (which negate to themselves).
+func TestPredNegateInvolutionProperty(t *testing.T) {
+	f := func(s string) bool {
+		p := Pred(s)
+		return p.Negate().Negate() == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: IntConst round-trips its value and is zero iff the value is 0.
+func TestIntConstProperty(t *testing.T) {
+	f := func(v int64) bool {
+		c := IntConst(I64, v)
+		return c.Val == v && IsZero(c) == (v == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstrStringForms(t *testing.T) {
+	m := NewModule("t")
+	st := &StructType{Name: "S", Fields: []Field{{Name: "f", Type: I64}}}
+	fn := m.NewFunction("g", &FuncType{Result: Void})
+	b := NewBuilder(fn)
+	p := b.Alloca("p", PointerTo(st))
+	v := b.Load("v", p)
+	fa := b.FieldAddr("fa", v, "f")
+	ia := b.IndexAddr("ia", fa, IntConst(I64, 2))
+	x := b.BinOp("x", OpAdd, IntConst(I64, 1), IntConst(I64, 2))
+	c := b.Cmp("c", PredLT, x, IntConst(I64, 9))
+	call := b.Call("r", "helper", I64, x, c)
+	_ = call
+	b.Ret(x)
+	m.AssignGIDs()
+	wantSubs := map[Instr]string{
+		fn.Blocks[0].Instrs[0]: "alloca",
+		fn.Blocks[0].Instrs[1]: "load",
+		fn.Blocks[0].Instrs[2]: "fieldaddr",
+		fn.Blocks[0].Instrs[3]: "indexaddr",
+		fn.Blocks[0].Instrs[4]: "add",
+		fn.Blocks[0].Instrs[5]: "cmp lt",
+		fn.Blocks[0].Instrs[6]: "call helper(",
+		fn.Blocks[0].Instrs[7]: "ret",
+	}
+	for in, want := range wantSubs {
+		if !strings.Contains(in.String(), want) {
+			t.Errorf("%T prints %q, want substring %q", in, in.String(), want)
+		}
+	}
+	_ = ia
+}
+
+func TestFuncTypeString(t *testing.T) {
+	ft := &FuncType{Params: []Type{I64, PointerTo(I8)}, Result: Void, Variadic: true}
+	if got := ft.String(); got != "void (i64, i8*, ...)" {
+		t.Errorf("FuncType.String() = %q", got)
+	}
+	if !ft.Equal(&FuncType{Params: []Type{I64, PointerTo(I8)}, Result: Void, Variadic: true}) {
+		t.Error("equal func types not equal")
+	}
+	if ft.Equal(&FuncType{Params: []Type{I64}, Result: Void, Variadic: true}) {
+		t.Error("different arity considered equal")
+	}
+}
+
+func TestVerifyCatchesForeignBranch(t *testing.T) {
+	m := NewModule("bad")
+	f1 := m.NewFunction("f1", &FuncType{Result: Void})
+	f2 := m.NewFunction("f2", &FuncType{Result: Void})
+	b2 := NewBuilder(f2)
+	b2.Ret(nil)
+	b1 := NewBuilder(f1)
+	b1.Blk.Append(&Br{Target: f2.Blocks[0]})
+	m.AssignGIDs()
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "foreign") {
+		t.Errorf("foreign branch not caught: %v", err)
+	}
+}
+
+func TestVerifyCatchesUndefinedUse(t *testing.T) {
+	m := NewModule("bad")
+	fn := m.NewFunction("g", &FuncType{Result: I64})
+	b := NewBuilder(fn)
+	ghost := &Register{ID: 99, Name: "ghost", Typ: I64}
+	b.Ret(ghost)
+	m.AssignGIDs()
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "undefined register") {
+		t.Errorf("undefined use not caught: %v", err)
+	}
+}
+
+func TestGlobalValue(t *testing.T) {
+	g := &Global{Name: "counter", Elem: I64}
+	if g.String() != "@counter" {
+		t.Errorf("Global.String() = %q", g.String())
+	}
+	if !g.Type().Equal(PointerTo(I64)) {
+		t.Errorf("global type = %s, want i64*", g.Type())
+	}
+}

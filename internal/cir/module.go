@@ -1,0 +1,247 @@
+package cir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Block is a basic block: a straight-line sequence of instructions ending in
+// a terminator.
+type Block struct {
+	Name   string
+	Fn     *Function
+	Instrs []Instr
+}
+
+// Append adds an instruction to the block and wires its parent pointer.
+func (b *Block) Append(in Instr) Instr {
+	in.setBlock(b)
+	b.Instrs = append(b.Instrs, in)
+	return in
+}
+
+// Terminator returns the block's final instruction when it is a terminator,
+// or nil.
+func (b *Block) Terminator() Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	t := b.Instrs[len(b.Instrs)-1]
+	if !IsTerminator(t) {
+		return nil
+	}
+	return t
+}
+
+// Succs returns the successor blocks.
+func (b *Block) Succs() []*Block {
+	switch t := b.Terminator().(type) {
+	case *Br:
+		return []*Block{t.Target}
+	case *CondBr:
+		return []*Block{t.True, t.False}
+	}
+	return nil
+}
+
+// Function is a CIR function definition or declaration (no blocks).
+type Function struct {
+	Name   string
+	Typ    *FuncType
+	Params []*Register
+	Blocks []*Block
+	Mod    *Module
+	Pos    Pos
+	File   string // defining source file
+	Static bool   // file-local, as in C 'static'
+	// Category labels the OS part the function belongs to (drivers, net,
+	// fs, subsystem, thirdparty, other); filled by the corpus generator and
+	// used by the Figure 11 experiment.
+	Category string
+
+	nextReg int
+}
+
+// IsDecl reports whether fn has no body (an external declaration).
+func (fn *Function) IsDecl() bool { return len(fn.Blocks) == 0 }
+
+// Entry returns the entry block, or nil for declarations.
+func (fn *Function) Entry() *Block {
+	if len(fn.Blocks) == 0 {
+		return nil
+	}
+	return fn.Blocks[0]
+}
+
+// NewBlock creates, appends and returns a new basic block.
+func (fn *Function) NewBlock(name string) *Block {
+	b := &Block{Name: fmt.Sprintf("%s%d", name, len(fn.Blocks)), Fn: fn}
+	fn.Blocks = append(fn.Blocks, b)
+	return b
+}
+
+// NewReg creates a fresh virtual register of type t.
+func (fn *Function) NewReg(name string, t Type) *Register {
+	fn.nextReg++
+	return &Register{ID: fn.nextReg, Name: name, Typ: t, Fn: fn}
+}
+
+// AddParam appends a formal parameter register.
+func (fn *Function) AddParam(name string, t Type) *Register {
+	r := fn.NewReg(name, t)
+	fn.Params = append(fn.Params, r)
+	return r
+}
+
+// Instrs calls f for every instruction in the function.
+func (fn *Function) Instrs(f func(Instr)) {
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			f(in)
+		}
+	}
+}
+
+// NumInstrs returns the instruction count.
+func (fn *Function) NumInstrs() int {
+	n := 0
+	for _, b := range fn.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// Module is a set of functions, struct types and globals, typically the
+// result of parsing one or more source files (the paper's per-OS "LLVM
+// bytecode" plus the P1 function-information database).
+type Module struct {
+	Name    string
+	Funcs   map[string]*Function
+	Structs map[string]*StructType
+	Globals map[string]*Global
+	// Files lists the source files that were lowered into the module.
+	Files []string
+	// SourceLines is the total number of source lines lowered (for the
+	// Table 4/5 "source code lines" statistics).
+	SourceLines int
+	// AddressTaken records function names referenced from global aggregate
+	// initializers (e.g. .probe = s5p_mfc_probe in a driver ops struct).
+	// Such functions have no explicit caller and are analysis entry points
+	// (Figure 1 of the paper).
+	AddressTaken map[string]bool
+
+	order   []string
+	nextGID int
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module {
+	return &Module{
+		Name:         name,
+		Funcs:        make(map[string]*Function),
+		Structs:      make(map[string]*StructType),
+		Globals:      make(map[string]*Global),
+		AddressTaken: make(map[string]bool),
+	}
+}
+
+// NewFunction creates and registers a function. Duplicate names are
+// disambiguated with a file-scope suffix when static.
+func (m *Module) NewFunction(name string, typ *FuncType) *Function {
+	fn := &Function{Name: name, Typ: typ, Mod: m}
+	m.Funcs[name] = fn
+	m.order = append(m.order, name)
+	return fn
+}
+
+// AddGlobal registers a global variable.
+func (m *Module) AddGlobal(name string, elem Type) *Global {
+	g := &Global{Name: name, Elem: elem}
+	m.Globals[name] = g
+	return g
+}
+
+// AddStruct registers a struct type.
+func (m *Module) AddStruct(st *StructType) { m.Structs[st.Name] = st }
+
+// FuncNames returns function names in definition order.
+func (m *Module) FuncNames() []string {
+	out := make([]string, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// SortedFuncs returns the functions sorted by name (for deterministic
+// iteration in analyses and tests).
+func (m *Module) SortedFuncs() []*Function {
+	names := make([]string, 0, len(m.Funcs))
+	for n := range m.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Function, 0, len(names))
+	for _, n := range names {
+		out = append(out, m.Funcs[n])
+	}
+	return out
+}
+
+// AssignGIDs numbers every instruction in the module with a unique ID.
+// It must be called once after construction and before analysis.
+func (m *Module) AssignGIDs() {
+	m.nextGID = 0
+	for _, fn := range m.SortedFuncs() {
+		fn.Instrs(func(in Instr) {
+			m.nextGID++
+			in.setGID(m.nextGID)
+		})
+	}
+}
+
+// NumInstrs returns the total instruction count.
+func (m *Module) NumInstrs() int {
+	n := 0
+	for _, fn := range m.Funcs {
+		n += fn.NumInstrs()
+	}
+	return n
+}
+
+// String renders the whole module in a readable assembly-like syntax.
+func (m *Module) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; module %s\n", m.Name)
+	for _, name := range m.FuncNames() {
+		fn := m.Funcs[name]
+		b.WriteString(fn.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// String renders the function body.
+func (fn *Function) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s %s(", fn.Typ.Result, fn.Name)
+	for i, p := range fn.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", p.Typ, p)
+	}
+	b.WriteString(")")
+	if fn.IsDecl() {
+		b.WriteString(" ; decl\n")
+		return b.String()
+	}
+	b.WriteString(" {\n")
+	for _, blk := range fn.Blocks {
+		fmt.Fprintf(&b, "%s:\n", blk.Name)
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "\t%s\n", in)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package cir
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Value is an operand of an instruction: a virtual register, a global, or a
+// constant.
+type Value interface {
+	Type() Type
+	String() string
+}
+
+// Register is an SSA-style virtual register. Registers are defined exactly
+// once, either by an instruction (Def) or as a function parameter.
+type Register struct {
+	ID   int    // unique within the function
+	Name string // source-level hint, may be empty
+	Typ  Type
+	Def  Instr     // defining instruction; nil for parameters
+	Fn   *Function // owning function
+}
+
+func (r *Register) Type() Type { return r.Typ }
+
+func (r *Register) String() string {
+	if r.Name != "" {
+		return "%" + r.Name + "." + strconv.Itoa(r.ID)
+	}
+	return "%t" + strconv.Itoa(r.ID)
+}
+
+// IsParam reports whether r is a formal parameter of its function.
+func (r *Register) IsParam() bool { return r.Def == nil }
+
+// Global is a module-level variable. Its value is the address of the global
+// storage, so its type is a pointer to the declared type (as in LLVM).
+type Global struct {
+	Name string
+	Elem Type // declared type; the value's type is *Elem
+}
+
+func (g *Global) Type() Type     { return PointerTo(g.Elem) }
+func (g *Global) String() string { return "@" + g.Name }
+
+// Const is an integer or null-pointer constant.
+type Const struct {
+	Typ    Type
+	Val    int64
+	IsNull bool // true for the NULL pointer constant
+	Str    string
+	IsStr  bool // true for opaque string literals
+}
+
+func (c *Const) Type() Type { return c.Typ }
+
+func (c *Const) String() string {
+	switch {
+	case c.IsNull:
+		return "null"
+	case c.IsStr:
+		return strconv.Quote(c.Str)
+	default:
+		return strconv.FormatInt(c.Val, 10)
+	}
+}
+
+// IntConst returns an integer constant of the given type.
+func IntConst(t Type, v int64) *Const { return &Const{Typ: t, Val: v} }
+
+// NullConst returns the NULL constant of pointer type t.
+func NullConst(t Type) *Const { return &Const{Typ: t, IsNull: true} }
+
+// StrConst returns an opaque string-literal constant (type i8*).
+func StrConst(s string) *Const { return &Const{Typ: PointerTo(I8), Str: s, IsStr: true} }
+
+// IsZero reports whether v is the integer constant 0 or the NULL pointer.
+func IsZero(v Value) bool {
+	c, ok := v.(*Const)
+	return ok && !c.IsStr && (c.IsNull || c.Val == 0)
+}
+
+// IsNullConst reports whether v is the NULL pointer constant or a zero
+// constant of pointer type.
+func IsNullConst(v Value) bool {
+	c, ok := v.(*Const)
+	if !ok {
+		return false
+	}
+	return c.IsNull || (c.Val == 0 && IsPointer(c.Typ))
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+}
+
+func (p Pos) String() string {
+	if p.File == "" && p.Line == 0 {
+		return "<unknown>"
+	}
+	return fmt.Sprintf("%s:%d", p.File, p.Line)
+}
+
+// IsValid reports whether p carries real position information.
+func (p Pos) IsValid() bool { return p.Line != 0 }

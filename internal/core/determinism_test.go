@@ -1,0 +1,119 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/minicc"
+	"repro/internal/oscorpus"
+	"repro/internal/pathval"
+	"repro/internal/typestate"
+)
+
+// signature renders a run's findings into a comparable string.
+func signature(res *core.Result) string {
+	out := ""
+	for _, b := range core.SortedBugs(res.Bugs) {
+		pos := b.BugInstr.Position()
+		out += fmt.Sprintf("%s %s:%d origin=%d;", b.Type, pos.File, pos.Line, b.OriginGID)
+	}
+	return out
+}
+
+func TestEngineDeterministicAcrossRuns(t *testing.T) {
+	c := oscorpus.Generate(oscorpus.ZephyrSpec())
+	var sigs []string
+	var stats []core.Stats
+	for i := 0; i < 3; i++ {
+		mod, err := minicc.LowerAll(c.Spec.Name, c.Sources)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.Config{Checkers: typestate.CoreCheckers()}
+		pathval.New().Install(&cfg)
+		res := core.NewEngine(mod, cfg).Run()
+		sigs = append(sigs, signature(res))
+		stats = append(stats, res.Stats)
+	}
+	if sigs[0] != sigs[1] || sigs[1] != sigs[2] {
+		t.Error("findings differ across identical runs")
+	}
+	if stats[0].Typestates != stats[1].Typestates ||
+		stats[0].PathsExplored != stats[1].PathsExplored ||
+		stats[0].Constraints != stats[1].Constraints {
+		t.Errorf("stats differ: %+v vs %+v", stats[0], stats[1])
+	}
+}
+
+func TestEngineReusableAfterRun(t *testing.T) {
+	// A second Run on the same engine must not double-report (dedup state
+	// persists by design, so the second run adds nothing).
+	mod, err := minicc.LowerAll("m", map[string]string{"a.c": `
+struct s { int f; };
+int f(struct s *p) {
+	if (!p)
+		return p->f;
+	return 0;
+}`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(mod, core.Config{Checkers: typestate.CoreCheckers()})
+	first := eng.Run()
+	second := eng.Run()
+	if len(first.Possible) == 0 {
+		t.Fatal("no candidates on first run")
+	}
+	if len(second.Possible) != len(first.Possible) {
+		t.Errorf("second run changed candidates: %d vs %d",
+			len(second.Possible), len(first.Possible))
+	}
+}
+
+func TestAliasSetInReport(t *testing.T) {
+	mod, err := minicc.LowerAll("m", map[string]string{"cfg.c": `
+struct srv { int frnd; };
+struct model { void *user_data; };
+static void status(struct model *m) {
+	struct srv *cfg = (struct srv *)m->user_data;
+	use(cfg->frnd);
+}
+static void entry_fn(struct model *m) {
+	struct srv *cfg = (struct srv *)m->user_data;
+	if (!cfg)
+		status(m);
+}`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Checkers: typestate.CoreCheckers()}
+	pathval.New().Install(&cfg)
+	res := core.NewEngine(mod, cfg).Run()
+	if len(res.Bugs) == 0 {
+		t.Fatal("no bugs")
+	}
+	b := res.Bugs[0]
+	if len(b.AliasSet) < 2 {
+		t.Errorf("alias set should show the aliased access paths, got %v", b.AliasSet)
+	}
+	// The alias set must mention the user_data field chain.
+	found := false
+	for _, p := range b.AliasSet {
+		if contains(p, "user_data") || contains(p, "cfg") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("alias set misses the field chain: %v", b.AliasSet)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

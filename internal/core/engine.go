@@ -1,0 +1,711 @@
+// Package core implements PATA's analysis engine: the path-based DFS of
+// Figure 6 that simultaneously maintains the alias graph (path-based alias
+// analysis, §3.1) and runs the alias-aware typestate checkers (§3.2), the
+// Stage-2 bug filter (repeated-bug deduplication plus alias-aware path
+// validation, §3.3/§4), and the PATA-NA alias-unaware variant used by the
+// paper's sensitivity study (§5.4).
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/aliasgraph"
+	"repro/internal/callgraph"
+	"repro/internal/cir"
+	"repro/internal/typestate"
+)
+
+// Mode selects the alias treatment.
+type Mode int
+
+// Analysis modes.
+const (
+	// ModePATA runs the full path-based alias analysis.
+	ModePATA Mode = iota
+	// ModeNoAlias is the paper's PATA-NA: aliasing is tracked only through
+	// direct register moves and direct local-slot load/store pairs; flows
+	// through fields and pointer-typed memory are invisible, and path
+	// validation maps every variable to its own symbol.
+	ModeNoAlias
+)
+
+// Config tunes the engine.
+type Config struct {
+	// Checkers to run; defaults to typestate.CoreCheckers (NPD, UVA, ML).
+	Checkers []typestate.Checker
+	// Intrinsics classifies allocators/locks; defaults to
+	// typestate.DefaultIntrinsics.
+	Intrinsics *typestate.Intrinsics
+	// Mode selects PATA or PATA-NA.
+	Mode Mode
+	// MaxCallDepth bounds inlining depth (default 8).
+	MaxCallDepth int
+	// MaxPathsPerEntry bounds complete paths per entry function
+	// (default 4096).
+	MaxPathsPerEntry int
+	// MaxStepsPerEntry bounds executed instructions per entry function
+	// (default 1,000,000).
+	MaxStepsPerEntry int
+	// MaxContinuationsPerCall bounds how many callee paths continue into
+	// the caller per call-site activation — the paper's P2 "combine the
+	// information of its code paths [at return] to mitigate path
+	// explosion". 0 means unlimited (default 2).
+	MaxContinuationsPerCall int
+	// LoopUnroll is how many times an instruction may appear on one path
+	// (default 1, the paper's unroll-each-loop-once rule, §3.1). A value K
+	// lets a path complete K-1 loop iterations and still evaluate the exit
+	// condition. Raising it implements the §7 future-work direction:
+	// bugs whose trigger needs several iterations become reachable, at a
+	// path-count cost.
+	LoopUnroll int
+	// Validate enables Stage-2 path validation (default true). The
+	// ValidatePath hook is installed by the pathval package (or a custom
+	// validator); when nil, validation is skipped.
+	Validate bool
+	// ValidatePath decides a candidate bug's path feasibility; it returns
+	// false when the path is proven infeasible (the bug is dropped). The
+	// counts it returns feed the Table 5 constraint statistics.
+	ValidatePath func(bug *PossibleBug, mode Mode) ValidationOutcome
+	// Trace, when set, observes every executed instruction with the alias
+	// graph as updated for it (Figure 6 line 30). For debugging and for
+	// tests that assert the paper's worked examples (Figure 7).
+	Trace func(in cir.Instr, g *aliasgraph.Graph)
+}
+
+// ValidationOutcome reports one path validation.
+type ValidationOutcome struct {
+	Feasible           bool
+	Constraints        int64 // alias-aware constraint count
+	ConstraintsUnaware int64 // per-variable encoding count (Figure 9b)
+	// Trigger holds candidate concrete values ("q = 0") that drive the
+	// feasible witness path, extracted from the solver model.
+	Trigger []string
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Checkers == nil {
+		c.Checkers = typestate.CoreCheckers()
+	}
+	if c.Intrinsics == nil {
+		c.Intrinsics = typestate.DefaultIntrinsics()
+	}
+	if c.MaxCallDepth == 0 {
+		c.MaxCallDepth = 8
+	}
+	if c.MaxPathsPerEntry == 0 {
+		c.MaxPathsPerEntry = 4096
+	}
+	if c.MaxStepsPerEntry == 0 {
+		c.MaxStepsPerEntry = 1_000_000
+	}
+	if c.MaxContinuationsPerCall == 0 {
+		c.MaxContinuationsPerCall = 2
+	}
+	if c.LoopUnroll == 0 {
+		c.LoopUnroll = 1
+	}
+	return c
+}
+
+// PathStep is one instruction executed on a path; for conditional branches
+// it records the direction taken.
+type PathStep struct {
+	Instr cir.Instr
+	Taken bool
+}
+
+// PossibleBug is a Stage-1 candidate (typestate reached the FSM bug state on
+// some path, feasibility unchecked).
+type PossibleBug struct {
+	Checker   typestate.Checker
+	Type      typestate.BugType
+	BugInstr  cir.Instr
+	OriginGID int
+	Path      []PathStep
+	// AltPaths holds up to maxAltPaths additional witness paths for the
+	// same (origin, bug) pair. Stage 2 tries them in turn: the bug is
+	// feasible if ANY witness path is; validating only the first-found
+	// path would wrongly drop bugs whose first witness is infeasible.
+	AltPaths [][]PathStep
+	Extra    *typestate.ExtraConstraint
+	EntryFn  string
+	InFn     string
+	Category string
+	// AliasSet holds the access paths of the affected object's alias class
+	// at the bug point (Example 1 of the paper), for readable reports.
+	AliasSet []string
+}
+
+// maxAltPaths bounds the extra witness paths kept per candidate.
+const maxAltPaths = 4
+
+// Bug is a validated report.
+type Bug struct {
+	*PossibleBug
+	Validated bool // true when Stage 2 ran and kept it
+	// Trigger holds candidate concrete input values for the witness path
+	// (from the Stage-2 solver model), e.g. "q = 0".
+	Trigger []string
+}
+
+// Stats mirrors the Table 5 "code analysis" and "bug detection" counters.
+type Stats struct {
+	EntryFunctions     int
+	PathsExplored      int64
+	StepsExecuted      int64
+	Budgeted           int // entries that hit a path/step budget
+	Typestates         int64
+	TypestatesUnaware  int64
+	PossibleBugs       int64
+	RepeatedDropped    int64
+	FalseDropped       int64
+	Constraints        int64
+	ConstraintsUnaware int64
+	AnalysisTime       time.Duration
+	ValidationTime     time.Duration
+}
+
+// Result of a full run.
+type Result struct {
+	Bugs     []*Bug
+	Possible []*PossibleBug // deduplicated Stage-1 candidates
+	Stats    Stats
+}
+
+// Engine analyzes one module.
+type Engine struct {
+	Mod *cir.Module
+	CG  *callgraph.Graph
+	Cfg Config
+	// OnlyEntries, when non-nil, restricts the analysis to the named entry
+	// functions (used by RunParallel's sharding).
+	OnlyEntries []string
+
+	g       *aliasgraph.Graph
+	tracker *typestate.Tracker
+
+	path    []PathStep
+	onPath  map[int]int
+	frames  []*frame
+	nextFID int
+
+	paths int64
+	steps int64
+	over  bool
+
+	dedup    map[dedupKey]*PossibleBug
+	possible []*PossibleBug
+	stats    Stats
+
+	stackAddrMemo map[*cir.Register]bool
+}
+
+type frame struct {
+	fn    *cir.Function
+	call  *cir.Call // nil for the entry frame
+	fid   int
+	conts int
+}
+
+type dedupKey struct {
+	checker int
+	origin  int
+	bug     int
+}
+
+// NewEngine prepares an engine for mod.
+func NewEngine(mod *cir.Module, cfg Config) *Engine {
+	e := &Engine{
+		Mod:           mod,
+		CG:            callgraph.Build(mod),
+		Cfg:           cfg.withDefaults(),
+		dedup:         make(map[dedupKey]*PossibleBug),
+		stackAddrMemo: make(map[*cir.Register]bool),
+	}
+	return e
+}
+
+// Run executes Stage 1 (path-sensitive alias + typestate analysis over all
+// entry functions) and Stage 2 (dedup already folded into Stage 1's sink,
+// then path validation).
+func (e *Engine) Run() *Result {
+	start := time.Now()
+	entries := e.CG.EntryFunctions()
+	if e.OnlyEntries != nil {
+		allowed := make(map[string]bool, len(e.OnlyEntries))
+		for _, n := range e.OnlyEntries {
+			allowed[n] = true
+		}
+		var filtered []*cir.Function
+		for _, fn := range entries {
+			if allowed[fn.Name] {
+				filtered = append(filtered, fn)
+			}
+		}
+		entries = filtered
+	}
+	e.stats.EntryFunctions = len(entries)
+	for _, fn := range entries {
+		e.analyzeEntry(fn)
+	}
+	e.stats.PossibleBugs = int64(len(e.possible)) + e.stats.RepeatedDropped
+	e.stats.Typestates = e.tracker0Stats().Transitions
+	e.stats.TypestatesUnaware = e.tracker0Stats().TransitionsUnaware
+	e.stats.AnalysisTime = time.Since(start)
+
+	res := &Result{Possible: e.possible, Stats: e.stats}
+	vstart := time.Now()
+	for _, pb := range e.possible {
+		b := &Bug{PossibleBug: pb}
+		if e.Cfg.Validate && e.Cfg.ValidatePath != nil {
+			out := e.Cfg.ValidatePath(pb, e.Cfg.Mode)
+			res.Stats.Constraints += out.Constraints
+			res.Stats.ConstraintsUnaware += out.ConstraintsUnaware
+			if !out.Feasible {
+				res.Stats.FalseDropped++
+				continue
+			}
+			b.Validated = true
+			b.Trigger = out.Trigger
+		}
+		res.Bugs = append(res.Bugs, b)
+	}
+	res.Stats.ValidationTime = time.Since(vstart)
+	e.stats = res.Stats
+	return res
+}
+
+func (e *Engine) tracker0Stats() typestate.Stats {
+	if e.tracker == nil {
+		return typestate.Stats{}
+	}
+	return e.tracker.Stats
+}
+
+// analyzeEntry runs the Figure 6 DFS from one entry function. The alias
+// graph and tracker persist across entries so the Stats counters accumulate;
+// per-entry state (path, frames) is reset.
+func (e *Engine) analyzeEntry(fn *cir.Function) {
+	if e.g == nil {
+		e.g = aliasgraph.New()
+	}
+	if e.tracker == nil {
+		e.tracker = typestate.NewTracker(e.Cfg.Checkers, e.bugSink)
+	}
+	gm := e.g.Checkpoint()
+	tm := e.tracker.Checkpoint()
+
+	e.path = e.path[:0]
+	e.onPath = make(map[int]int)
+	e.frames = e.frames[:0]
+	e.paths = 0
+	e.steps = 0
+	e.over = false
+
+	e.nextFID++
+	e.frames = append(e.frames, &frame{fn: fn, fid: e.nextFID})
+	entryBlk := fn.Entry()
+	if entryBlk != nil && len(entryBlk.Instrs) > 0 {
+		e.exec(entryBlk.Instrs[0])
+	}
+	e.frames = e.frames[:0]
+	if e.over {
+		e.stats.Budgeted++
+	}
+	e.stats.PathsExplored += e.paths
+	e.stats.StepsExecuted += e.steps
+
+	// Different entries are independent: reset alias and typestate context.
+	e.g.Rollback(gm)
+	e.tracker.Rollback(tm)
+}
+
+func (e *Engine) budgetExceeded() bool {
+	if e.over {
+		return true
+	}
+	if e.steps >= int64(e.Cfg.MaxStepsPerEntry) || e.paths >= int64(e.Cfg.MaxPathsPerEntry) {
+		e.over = true
+	}
+	return e.over
+}
+
+// exec handles one instruction and continues the DFS (HandleINST of
+// Figure 6). All mutations are rolled back before returning.
+func (e *Engine) exec(in cir.Instr) {
+	if e.budgetExceeded() {
+		return
+	}
+	e.steps++
+	gid := in.GID()
+	if e.onPath[gid] >= e.Cfg.LoopUnroll {
+		// Loop or re-entry beyond the unroll budget (Figure 6 lines 32–38
+		// with the paper's unroll-once default); the path ends here.
+		e.endPath()
+		return
+	}
+	gm := e.g.Checkpoint()
+	tm := e.tracker.Checkpoint()
+	if e.onPath[gid] > 0 {
+		// Re-execution (loop unroll > 1): the defined register is a fresh
+		// dynamic instance; detach it from the previous iteration's class.
+		if dst := in.Dest(); dst != nil {
+			e.g.Detach(dst)
+		}
+	}
+	e.onPath[gid]++
+	e.path = append(e.path, PathStep{Instr: in})
+
+	switch t := in.(type) {
+	case *cir.Call:
+		e.execCall(t)
+	case *cir.CondBr:
+		e.execCondBr(t)
+	case *cir.Ret:
+		e.execRet(t)
+	default:
+		e.applyAlias(in)
+		if e.Cfg.Trace != nil {
+			e.Cfg.Trace(in, e.g)
+		}
+		e.emitInstr(in)
+		succs := instrSuccessors(in)
+		if len(succs) == 0 {
+			e.endPath()
+		}
+		for _, next := range succs {
+			e.exec(next)
+		}
+	}
+
+	e.path = e.path[:len(e.path)-1]
+	e.onPath[gid]--
+	e.tracker.Rollback(tm)
+	e.g.Rollback(gm)
+}
+
+// instrSuccessors is Next() of the paper's pseudocode.
+func instrSuccessors(in cir.Instr) []cir.Instr {
+	blk := in.Block()
+	for i, cur := range blk.Instrs {
+		if cur == in {
+			if i+1 < len(blk.Instrs) {
+				return []cir.Instr{blk.Instrs[i+1]}
+			}
+			break
+		}
+	}
+	var out []cir.Instr
+	for _, s := range blk.Succs() {
+		if len(s.Instrs) > 0 {
+			out = append(out, s.Instrs[0])
+		}
+	}
+	return out
+}
+
+func (e *Engine) execCondBr(br *cir.CondBr) {
+	for _, taken := range []bool{true, false} {
+		target := br.False
+		if taken {
+			target = br.True
+		}
+		if len(target.Instrs) == 0 {
+			continue
+		}
+		next := target.Instrs[0]
+		if e.onPath[next.GID()] >= e.Cfg.LoopUnroll {
+			continue
+		}
+		gm := e.g.Checkpoint()
+		tm := e.tracker.Checkpoint()
+		// Record the direction on the branch step already on the path.
+		e.path[len(e.path)-1].Taken = taken
+		for ci, c := range e.tracker.Checkers {
+			for _, em := range c.OnBranch(br, taken, e) {
+				e.tracker.Apply(ci, em)
+			}
+		}
+		e.exec(next)
+		e.tracker.Rollback(tm)
+		e.g.Rollback(gm)
+	}
+}
+
+func (e *Engine) execCall(call *cir.Call) {
+	callee := e.Mod.Funcs[call.Callee]
+	inlinable := callee != nil && !callee.IsDecl() &&
+		len(e.frames) < e.Cfg.MaxCallDepth &&
+		callee.Entry() != nil && len(callee.Entry().Instrs) > 0 &&
+		e.onPath[callee.Entry().Instrs[0].GID()] < e.Cfg.LoopUnroll
+
+	// The checkers see the call either way (intrinsics, escapes).
+	e.emitInstr(call)
+
+	if !inlinable {
+		// External or pruned call: continue in the caller. The result
+		// register stays unconstrained.
+		for _, next := range instrSuccessors(call) {
+			e.exec(next)
+		}
+		if len(instrSuccessors(call)) == 0 {
+			e.endPath()
+		}
+		return
+	}
+
+	gm := e.g.Checkpoint()
+	tm := e.tracker.Checkpoint()
+	// HandleCALL (Figure 6 lines 12–17): bind arguments to parameters with
+	// MOVE operations.
+	for i, p := range callee.Params {
+		if i >= len(call.Args) {
+			break
+		}
+		e.g.Move(p, call.Args[i])
+		for ci, c := range e.tracker.Checkers {
+			for _, em := range c.OnBind(p, call.Args[i], call, e) {
+				e.tracker.Apply(ci, em)
+			}
+		}
+	}
+	e.nextFID++
+	e.frames = append(e.frames, &frame{fn: callee, call: call, fid: e.nextFID})
+	e.exec(callee.Entry().Instrs[0])
+	e.frames = e.frames[:len(e.frames)-1]
+	e.tracker.Rollback(tm)
+	e.g.Rollback(gm)
+}
+
+func (e *Engine) execRet(ret *cir.Ret) {
+	// Checkers observe the return in the returning frame (ML leak check).
+	for ci, c := range e.tracker.Checkers {
+		for _, em := range c.OnReturn(ret, e) {
+			e.tracker.Apply(ci, em)
+		}
+	}
+	if len(e.frames) == 1 {
+		e.endPath()
+		return
+	}
+	f := e.frames[len(e.frames)-1]
+	f.conts++
+	if e.Cfg.MaxContinuationsPerCall > 0 && f.conts > e.Cfg.MaxContinuationsPerCall {
+		// Path-explosion mitigation (P2): only the first K callee paths
+		// continue into the caller; the rest end here, having already been
+		// typestate-checked inside the callee.
+		e.endPath()
+		return
+	}
+	// Bind the return value to the call destination (HandleCALL lines
+	// 19–20) and continue after the call site.
+	e.frames = e.frames[:len(e.frames)-1]
+	gm := e.g.Checkpoint()
+	tm := e.tracker.Checkpoint()
+	if f.call.Dst != nil && ret.Val != nil {
+		e.g.Move(f.call.Dst, ret.Val)
+		for ci, c := range e.tracker.Checkers {
+			for _, em := range c.OnBind(f.call.Dst, ret.Val, f.call, e) {
+				e.tracker.Apply(ci, em)
+			}
+		}
+	}
+	succs := instrSuccessors(f.call)
+	if len(succs) == 0 {
+		e.endPath()
+	}
+	for _, next := range succs {
+		e.exec(next)
+	}
+	e.tracker.Rollback(tm)
+	e.g.Rollback(gm)
+	e.frames = append(e.frames, f)
+}
+
+func (e *Engine) endPath() {
+	e.paths++
+}
+
+// applyAlias runs the Figure 5 update rules (or their PATA-NA restriction).
+func (e *Engine) applyAlias(in cir.Instr) {
+	na := e.Cfg.Mode == ModeNoAlias
+	switch t := in.(type) {
+	case *cir.Move:
+		e.g.Move(t.Dst, t.Src)
+	case *cir.Load:
+		if na && !isAllocaReg(t.Addr) {
+			return
+		}
+		e.g.Load(t.Dst, t.Addr)
+	case *cir.Store:
+		if na && !isAllocaReg(t.Addr) {
+			return
+		}
+		e.g.Store(t.Addr, t.Val)
+	case *cir.FieldAddr:
+		if na {
+			return
+		}
+		e.g.GEP(t.Dst, t.Base, aliasgraph.FieldLabel(t.Field))
+	case *cir.IndexAddr:
+		if na {
+			return
+		}
+		e.g.GEP(t.Dst, t.Base, aliasgraph.IndexLabel(t.Index, t.GID()))
+	}
+}
+
+func isAllocaReg(v cir.Value) bool {
+	r, ok := v.(*cir.Register)
+	if !ok || r.Def == nil {
+		return false
+	}
+	_, isAlloca := r.Def.(*cir.Alloca)
+	return isAlloca
+}
+
+// emitInstr feeds one instruction through all checkers.
+func (e *Engine) emitInstr(in cir.Instr) {
+	for ci, c := range e.tracker.Checkers {
+		for _, em := range c.OnInstr(in, e) {
+			e.tracker.Apply(ci, em)
+		}
+	}
+}
+
+// bugSink receives bug-state transitions from the tracker, deduplicates by
+// (checker, origin instruction, bug instruction) as the paper's P3 phase
+// does, and snapshots the current path for Stage 2.
+func (e *Engine) bugSink(ci int, em typestate.Emission, from typestate.State) {
+	origin := int(e.tracker.PropOf(ci, em.Obj, "__origin"))
+	key := dedupKey{checker: ci, origin: origin, bug: em.Instr.GID()}
+	if prev, dup := e.dedup[key]; dup {
+		e.stats.RepeatedDropped++
+		if len(prev.AltPaths) < maxAltPaths {
+			alt := make([]PathStep, len(e.path))
+			copy(alt, e.path)
+			prev.AltPaths = append(prev.AltPaths, alt)
+		}
+		return
+	}
+	snapshot := make([]PathStep, len(e.path))
+	copy(snapshot, e.path)
+	entry := ""
+	cat := ""
+	if len(e.frames) > 0 {
+		entry = e.frames[0].fn.Name
+		cat = e.frames[0].fn.Category
+	}
+	inFn := entry
+	if blk := em.Instr.Block(); blk != nil && blk.Fn != nil {
+		inFn = blk.Fn.Name
+		if blk.Fn.Category != "" {
+			cat = blk.Fn.Category
+		}
+	}
+	chk := e.tracker.Checkers[ci]
+	aliasSet := e.g.AccessPaths(em.Obj, 2)
+	if len(aliasSet) > 8 {
+		aliasSet = aliasSet[:8]
+	}
+	pb := &PossibleBug{
+		Checker:   chk,
+		Type:      chk.Type(),
+		BugInstr:  em.Instr,
+		OriginGID: origin,
+		Path:      snapshot,
+		Extra:     em.Extra,
+		EntryFn:   entry,
+		InFn:      inFn,
+		Category:  cat,
+		AliasSet:  aliasSet,
+	}
+	e.dedup[key] = pb
+	e.possible = append(e.possible, pb)
+}
+
+// ---- typestate.Ctx implementation ----
+
+// Graph implements typestate.Ctx.
+func (e *Engine) Graph() *aliasgraph.Graph { return e.g }
+
+// Tracker implements typestate.Ctx.
+func (e *Engine) Tracker() *typestate.Tracker { return e.tracker }
+
+// Intrinsics implements typestate.Ctx.
+func (e *Engine) Intrinsics() *typestate.Intrinsics { return e.Cfg.Intrinsics }
+
+// Depth implements typestate.Ctx.
+func (e *Engine) Depth() int { return len(e.frames) - 1 }
+
+// FrameID implements typestate.Ctx.
+func (e *Engine) FrameID() int {
+	if len(e.frames) == 0 {
+		return 0
+	}
+	return e.frames[len(e.frames)-1].fid
+}
+
+// CallerFrameID implements typestate.Ctx.
+func (e *Engine) CallerFrameID() int {
+	if len(e.frames) < 2 {
+		return 0
+	}
+	return e.frames[len(e.frames)-2].fid
+}
+
+// IsDefined implements typestate.Ctx.
+func (e *Engine) IsDefined(callee string) bool {
+	fn, ok := e.Mod.Funcs[callee]
+	return ok && !fn.IsDecl()
+}
+
+// IsStackAddr implements typestate.Ctx: true for addresses rooted at an
+// alloca or a global (dereferencing them cannot fault on NULL).
+func (e *Engine) IsStackAddr(v cir.Value) bool {
+	switch t := v.(type) {
+	case *cir.Global:
+		return true
+	case *cir.Register:
+		if memo, ok := e.stackAddrMemo[t]; ok {
+			return memo
+		}
+		res := false
+		if t.Def != nil {
+			switch d := t.Def.(type) {
+			case *cir.Alloca:
+				res = true
+			case *cir.FieldAddr:
+				res = e.IsStackAddr(d.Base)
+			case *cir.IndexAddr:
+				res = e.IsStackAddr(d.Base)
+			}
+		}
+		e.stackAddrMemo[t] = res
+		return res
+	}
+	return false
+}
+
+// SortedBugs orders bugs by type, file and line for stable reporting.
+func SortedBugs(bugs []*Bug) []*Bug {
+	out := make([]*Bug, len(bugs))
+	copy(out, bugs)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		pa, pb := a.BugInstr.Position(), b.BugInstr.Position()
+		if pa.File != pb.File {
+			return pa.File < pb.File
+		}
+		if pa.Line != pb.Line {
+			return pa.Line < pb.Line
+		}
+		return a.BugInstr.GID() < b.BugInstr.GID()
+	})
+	return out
+}

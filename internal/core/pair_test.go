@@ -1,0 +1,89 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/typestate"
+)
+
+func pairCfg() core.Config {
+	var checkers []typestate.Checker
+	for _, r := range typestate.CommonPairRules() {
+		checkers = append(checkers, typestate.NewPair(r))
+	}
+	return core.Config{Checkers: checkers}
+}
+
+func TestPairMissingRelease(t *testing.T) {
+	res := run(t, pairCfg(), map[string]string{"a.c": `
+struct node { int id; };
+int probe(int base, int err) {
+	struct node *np = (struct node *)of_find_node_by_name(base);
+	if (!np)
+		return -19;
+	if (err)
+		return -5;        /* line 8: np not put on the error path */
+	of_node_put(np);
+	return 0;
+}`})
+	lines := linesOf(res, typestate.API)
+	if !lines[8] {
+		t.Errorf("missed missing of_node_put; got %v", lines)
+	}
+	if len(lines) != 1 {
+		t.Errorf("spurious pairing reports: %v", lines)
+	}
+}
+
+func TestPairBalancedThroughAlias(t *testing.T) {
+	// The release happens through an alias of the handle: alias-aware
+	// tracking balances it (the §7 API-rule argument).
+	res := run(t, pairCfg(), map[string]string{"a.c": `
+struct node { int id; };
+int probe(int base) {
+	struct node *np = (struct node *)of_find_node_by_name(base);
+	struct node *alias = np;
+	if (!np)
+		return -19;
+	use_node(np->id);
+	of_node_put(alias);
+	return 0;
+}`})
+	if n := countType(res, typestate.API); n != 0 {
+		t.Errorf("alias-balanced pairing flagged: %d", n)
+	}
+}
+
+func TestPairDoubleRelease(t *testing.T) {
+	res := run(t, pairCfg(), map[string]string{"a.c": `
+struct clkdev { int rate; };
+int start(struct clkdev *c, int retry) {
+	clk_enable(c);
+	clk_disable(c);
+	if (retry)
+		clk_disable(c);   /* line 7: double disable */
+	return 0;
+}`})
+	lines := linesOf(res, typestate.API)
+	if !lines[7] {
+		t.Errorf("missed double release; got %v", lines)
+	}
+}
+
+func TestPairArgumentStyleRule(t *testing.T) {
+	// clk-style rules track the first argument, not the result.
+	res := run(t, pairCfg(), map[string]string{"a.c": `
+struct clkdev { int rate; };
+int start(struct clkdev *c, int err) {
+	clk_prepare_enable(c);
+	if (err)
+		return -5;        /* line 6: clk left enabled */
+	clk_disable_unprepare(c);
+	return 0;
+}`})
+	lines := linesOf(res, typestate.API)
+	if !lines[6] {
+		t.Errorf("missed unbalanced clk enable; got %v", lines)
+	}
+}

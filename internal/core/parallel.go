@@ -1,0 +1,122 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/cir"
+)
+
+// RunParallel analyzes the module with `workers` engines running entry
+// functions concurrently (entry functions are independent analysis roots, so
+// Stage 1 parallelizes perfectly). Results are merged deterministically:
+// candidates are deduplicated across workers by the same (checker, origin,
+// bug) key, keeping the candidate from the lexicographically first entry
+// function, and Stage 2 validation runs on the merged set.
+//
+// workers <= 0 selects GOMAXPROCS. The merged Stats sum the per-worker
+// counters; AnalysisTime is the wall-clock of the parallel phase.
+func RunParallel(mod *cir.Module, cfg Config, workers int) *Result {
+	cfg = cfg.withDefaults()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	probe := NewEngine(mod, cfg)
+	entries := probe.CG.EntryFunctions()
+	if workers > len(entries) {
+		workers = len(entries)
+	}
+	if workers <= 1 {
+		return probe.Run()
+	}
+
+	type shardResult struct {
+		idx int
+		res *Result
+	}
+	// Round-robin sharding keeps big and small entries mixed.
+	shards := make([][]string, workers)
+	for i, fn := range entries {
+		shards[i%workers] = append(shards[i%workers], fn.Name)
+	}
+
+	results := make([]*Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sub := cfg
+			sub.Validate = false // Stage 2 runs once, after the merge
+			eng := NewEngine(mod, sub)
+			eng.OnlyEntries = shards[w]
+			results[w] = eng.Run()
+		}(w)
+	}
+	wg.Wait()
+
+	// Merge: stats sum; candidates dedup by key across workers.
+	merged := &Result{}
+	type key struct {
+		checker string
+		origin  int
+		bug     int
+	}
+	seen := map[key]*PossibleBug{}
+	var order []key
+	for _, r := range results {
+		s := &merged.Stats
+		s.EntryFunctions += r.Stats.EntryFunctions
+		s.PathsExplored += r.Stats.PathsExplored
+		s.StepsExecuted += r.Stats.StepsExecuted
+		s.Budgeted += r.Stats.Budgeted
+		s.Typestates += r.Stats.Typestates
+		s.TypestatesUnaware += r.Stats.TypestatesUnaware
+		s.PossibleBugs += r.Stats.PossibleBugs
+		s.RepeatedDropped += r.Stats.RepeatedDropped
+		for _, pb := range r.Possible {
+			k := key{checker: pb.Checker.Name(), origin: pb.OriginGID, bug: pb.BugInstr.GID()}
+			if prev, dup := seen[k]; dup {
+				merged.Stats.RepeatedDropped++
+				if len(prev.AltPaths) < maxAltPaths {
+					prev.AltPaths = append(prev.AltPaths, pb.Path)
+				}
+				continue
+			}
+			seen[k] = pb
+			order = append(order, k)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.bug != b.bug {
+			return a.bug < b.bug
+		}
+		if a.origin != b.origin {
+			return a.origin < b.origin
+		}
+		return a.checker < b.checker
+	})
+	for _, k := range order {
+		merged.Possible = append(merged.Possible, seen[k])
+	}
+
+	// Stage 2 on the merged candidates.
+	for _, pb := range merged.Possible {
+		b := &Bug{PossibleBug: pb}
+		if cfg.Validate && cfg.ValidatePath != nil {
+			out := cfg.ValidatePath(pb, cfg.Mode)
+			merged.Stats.Constraints += out.Constraints
+			merged.Stats.ConstraintsUnaware += out.ConstraintsUnaware
+			if !out.Feasible {
+				merged.Stats.FalseDropped++
+				continue
+			}
+			b.Validated = true
+			b.Trigger = out.Trigger
+		}
+		merged.Bugs = append(merged.Bugs, b)
+	}
+	return merged
+}

@@ -1,0 +1,58 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/minicc"
+	"repro/internal/oscorpus"
+	"repro/internal/pathval"
+	"repro/internal/typestate"
+)
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	c := oscorpus.Generate(oscorpus.LinuxSpec())
+	mod, err := minicc.LowerAll(c.Spec.Name, c.Sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqCfg := core.Config{Checkers: typestate.CoreCheckers()}
+	pathval.New().Install(&seqCfg)
+	seq := core.NewEngine(mod, seqCfg).Run()
+
+	parCfg := core.Config{Checkers: typestate.CoreCheckers()}
+	pathval.New().Install(&parCfg)
+	par := core.RunParallel(mod, parCfg, 4)
+
+	if signature(seq) != signature(par) {
+		t.Errorf("parallel findings differ from sequential:\nseq: %s\npar: %s",
+			signature(seq), signature(par))
+	}
+	if seq.Stats.Typestates != par.Stats.Typestates {
+		t.Errorf("typestate counters differ: %d vs %d",
+			seq.Stats.Typestates, par.Stats.Typestates)
+	}
+	if seq.Stats.PathsExplored != par.Stats.PathsExplored {
+		t.Errorf("path counters differ: %d vs %d",
+			seq.Stats.PathsExplored, par.Stats.PathsExplored)
+	}
+}
+
+func TestRunParallelSingleWorkerFallback(t *testing.T) {
+	mod, err := minicc.LowerAll("m", map[string]string{"a.c": `
+struct s { int f; };
+int f(struct s *p) {
+	if (!p)
+		return p->f;
+	return 0;
+}`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Checkers: typestate.CoreCheckers()}
+	pathval.New().Install(&cfg)
+	res := core.RunParallel(mod, cfg, 8) // 1 entry: falls back to sequential
+	if len(res.Bugs) != 1 {
+		t.Errorf("bugs = %d", len(res.Bugs))
+	}
+}

@@ -1,0 +1,282 @@
+package exp
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/typestate"
+)
+
+// The experiment tests assert the paper's qualitative SHAPES (who wins, by
+// roughly what factor), not absolute numbers: the substrate is a scaled
+// synthetic corpus, as DESIGN.md documents.
+
+func TestTable4Shape(t *testing.T) {
+	rows := Table4(io.Discard)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].OS != "linux-like" {
+		t.Errorf("first OS = %s", rows[0].OS)
+	}
+	// Linux dominates in files and LoC, as in the paper's Table 4.
+	for _, r := range rows[1:] {
+		if r.Lines >= rows[0].Lines || r.Files >= rows[0].Files {
+			t.Errorf("%s (%d LoC) should be smaller than linux-like (%d LoC)", r.OS, r.Lines, rows[0].Lines)
+		}
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	rows, err := Table5(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var found, real int
+	for _, r := range rows {
+		st := r.Run.Stats
+		// Alias awareness must reduce typestates (paper: 49.8% drop) and
+		// SMT constraints (paper: 87.3% drop).
+		if st.Typestates >= st.TypestatesUnaware {
+			t.Errorf("%s: typestates aware=%d unaware=%d", r.OS, st.Typestates, st.TypestatesUnaware)
+		}
+		if st.Constraints >= st.ConstraintsUnaware {
+			t.Errorf("%s: constraints aware=%d unaware=%d", r.OS, st.Constraints, st.ConstraintsUnaware)
+		}
+		if st.RepeatedDropped == 0 {
+			t.Errorf("%s: no repeated bugs dropped", r.OS)
+		}
+		if st.FalseDropped == 0 {
+			t.Errorf("%s: no false bugs dropped", r.OS)
+		}
+		found += r.Run.Score.Found
+		real += r.Run.Score.Real
+	}
+	fpRate := 100 * float64(found-real) / float64(found)
+	if fpRate < 10 || fpRate > 45 {
+		t.Errorf("overall FP rate %.0f%%, paper reports 28%%", fpRate)
+	}
+	// NPD dominates, then UVA, then ML (paper: 463/90/21).
+	var npd, uva, ml int
+	for _, r := range rows {
+		if tc := r.Run.Score.ByType[typestate.NPD]; tc != nil {
+			npd += tc.Real
+		}
+		if tc := r.Run.Score.ByType[typestate.UVA]; tc != nil {
+			uva += tc.Real
+		}
+		if tc := r.Run.Score.ByType[typestate.ML]; tc != nil {
+			ml += tc.Real
+		}
+	}
+	if !(npd > uva && uva > ml && ml > 0) {
+		t.Errorf("type ordering NPD(%d) > UVA(%d) > ML(%d) broken", npd, uva, ml)
+	}
+}
+
+func TestTable5AliasSavingsMagnitude(t *testing.T) {
+	rows, err := Table5(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ts, tsU, c, cU int64
+	for _, r := range rows {
+		ts += r.Run.Stats.Typestates
+		tsU += r.Run.Stats.TypestatesUnaware
+		c += r.Run.Stats.Constraints
+		cU += r.Run.Stats.ConstraintsUnaware
+	}
+	tsDrop := 100 * float64(tsU-ts) / float64(tsU)
+	cDrop := 100 * float64(cU-c) / float64(cU)
+	// Paper: 49.8% typestates dropped, 87.3% constraints dropped. Accept
+	// broad bands around those.
+	if tsDrop < 25 || tsDrop > 75 {
+		t.Errorf("typestate drop = %.1f%%, paper: 49.8%%", tsDrop)
+	}
+	if cDrop < 60 {
+		t.Errorf("constraint drop = %.1f%%, paper: 87.3%%", cDrop)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	buckets, err := Fig11(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(group, cat string) float64 {
+		for _, b := range buckets {
+			if b.Group == group && b.Category == cat {
+				return b.Share
+			}
+		}
+		return 0
+	}
+	if s := get("linux", "drivers"); s < 60 || s > 90 {
+		t.Errorf("linux drivers share = %.0f%%, paper: 75%%", s)
+	}
+	if s := get("iot", "thirdparty"); s < 50 || s > 85 {
+		t.Errorf("iot third-party share = %.0f%%, paper: 68%%", s)
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	rows, err := Table6(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, full := rows[0].Run, rows[1].Run
+	if na.Score.Real >= full.Score.Real {
+		t.Errorf("PATA-NA real (%d) must be below PATA (%d)", na.Score.Real, full.Score.Real)
+	}
+	if na.Score.FPRate() <= full.Score.FPRate() {
+		t.Errorf("PATA-NA FP rate (%.0f%%) must exceed PATA (%.0f%%)",
+			na.Score.FPRate(), full.Score.FPRate())
+	}
+	// Every NA real bug is also found by PATA (paper: "These 194 real bugs
+	// are all found by PATA").
+	if full.Score.Real < na.Score.Real {
+		t.Error("PATA must dominate PATA-NA on real bugs")
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	rows, err := Table7(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	totalF, totalR := 0, 0
+	for _, r := range rows {
+		if r.Real == 0 {
+			t.Errorf("%s: no real bugs found", r.BugType)
+		}
+		if r.Real > r.Found {
+			t.Errorf("%s: real (%d) exceeds found (%d)", r.BugType, r.Real, r.Found)
+		}
+		totalF += r.Found
+		totalR += r.Real
+	}
+	if totalF == totalR {
+		t.Error("extension checkers should show some false positives (paper: 52 found, 43 real)")
+	}
+}
+
+func TestTable8Shape(t *testing.T) {
+	cells, err := Table8(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTool := map[string]struct{ found, real, fp int }{}
+	for _, c := range cells {
+		agg := byTool[c.Tool]
+		agg.found += c.Run.Score.Found
+		agg.real += c.Run.Score.Real
+		agg.fp += c.Run.Score.FalsePos
+		byTool[c.Tool] = agg
+	}
+	pata := byTool["pata"]
+	// PATA finds the most real bugs of all tools.
+	for tool, agg := range byTool {
+		if tool == "pata" {
+			continue
+		}
+		if agg.real >= pata.real {
+			t.Errorf("%s real (%d) >= pata (%d)", tool, agg.real, pata.real)
+		}
+	}
+	// PATA has a lower FP rate than the alias-unaware path tools and the
+	// ordering-based linters.
+	rate := func(a struct{ found, real, fp int }) float64 {
+		if a.found == 0 {
+			return 0
+		}
+		return float64(a.fp) / float64(a.found)
+	}
+	for _, tool := range []string{"coccinelle", "infer-like"} {
+		if rate(byTool[tool]) <= rate(pata) {
+			t.Errorf("%s FP rate (%.2f) should exceed pata (%.2f)", tool, rate(byTool[tool]), rate(pata))
+		}
+	}
+	// SVF-Null misses the entry-parameter alias bugs (D1), so it finds far
+	// fewer real NPDs than PATA.
+	if svf := byTool["svf-null"]; svf.real*4 > pata.real {
+		t.Errorf("svf-null real (%d) suspiciously close to pata (%d)", svf.real, pata.real)
+	}
+}
+
+func TestFPAuditShape(t *testing.T) {
+	rows, err := FPAudit(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mech := map[string]map[string]int{}
+	for _, r := range rows {
+		if mech[r.Variant] == nil {
+			mech[r.Variant] = map[string]int{}
+		}
+		mech[r.Variant][r.Mechanism] = r.Count
+	}
+	def := mech["default"]
+	if def["array-index"] == 0 {
+		t.Error("array-insensitivity FPs expected (§5.2 cause 1)")
+	}
+	if def["nonlinear"] == 0 {
+		t.Error("complex-condition FPs expected (§5.2 cause 2)")
+	}
+	if def["concurrency"] > 0 {
+		t.Error("default config should not produce concurrency FPs")
+	}
+	tu := mech["thread-unaware"]
+	if tu["concurrency"] == 0 {
+		t.Error("thread-unaware variant should reproduce the §5.2 concurrency FPs (cause 3)")
+	}
+	for _, m := range []map[string]int{def, tu} {
+		if m["guarded"] > 0 || m["fig9-alias"] > 0 || m["infeasible-const"] > 0 {
+			t.Errorf("PATA must not fire on guarded/fig9/const traps: %v", m)
+		}
+	}
+}
+
+func TestCasesAllDetected(t *testing.T) {
+	rows, err := Cases(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Detected != r.Expected {
+			t.Errorf("%s (%s): detected %d of %d", r.Name, r.Figure, r.Detected, r.Expected)
+		}
+		if r.Spurious != 0 {
+			t.Errorf("%s: %d spurious reports", r.Name, r.Spurious)
+		}
+	}
+}
+
+func TestFSMsPrint(t *testing.T) {
+	var sb strings.Builder
+	FSMs(&sb)
+	out := sb.String()
+	for _, want := range []string{"FSM_NPD", "FSM_UVA", "FSM_ML", "br_null", "malloc", "S_NPD"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FSM print missing %q", want)
+		}
+	}
+}
+
+func TestExtensionsShape(t *testing.T) {
+	rows, err := Extensions(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Real == 0 {
+			t.Errorf("%s: no real bugs found by the extension checker", r.BugType)
+		}
+	}
+}

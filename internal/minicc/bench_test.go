@@ -1,0 +1,59 @@
+package minicc
+
+import (
+	"strings"
+	"testing"
+)
+
+var benchSrc = `
+struct dev { int flags; struct dev *next; char name[16]; };
+static int helper(struct dev *d, int n) {
+	int s = 0;
+	int i;
+	for (i = 0; i < n; i++) {
+		if (d->flags & i)
+			s += i;
+		d = d->next;
+	}
+	return s;
+}
+int entry_fn(struct dev *d, int mode) {
+	if (!d)
+		return -22;
+	switch (mode) {
+	case 0:
+		return helper(d, 4);
+	case 1:
+		return helper(d->next, 8);
+	default:
+		return 0;
+	}
+}
+`
+
+// BenchmarkParse measures lexing+parsing throughput (duplicate definitions
+// are a lowering concern, so a repeated source parses cleanly).
+func BenchmarkParse(b *testing.B) {
+	src := strings.Repeat(benchSrc, 4)
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		f, err := Parse("bench.c", src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(f.Funcs) != 8 {
+			b.Fatalf("funcs = %d", len(f.Funcs))
+		}
+	}
+}
+
+// BenchmarkLower measures full frontend throughput (parse + typecheck +
+// lower + verify).
+func BenchmarkLower(b *testing.B) {
+	b.SetBytes(int64(len(benchSrc)))
+	for i := 0; i < b.N; i++ {
+		if _, err := LowerAll("bench", map[string]string{"bench.c": benchSrc}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

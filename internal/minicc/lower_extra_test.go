@@ -1,0 +1,340 @@
+package minicc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cir"
+)
+
+func TestLowerNestedStructs(t *testing.T) {
+	mod := mustLowerOne(t, `
+struct inner { int x; int y; };
+struct outer { struct inner in; struct inner *pin; };
+int f(struct outer *o) {
+	o->in.x = 1;
+	o->pin->y = 2;
+	return o->in.x + o->pin->y;
+}`)
+	if err := cir.Verify(mod); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	fn := mod.Funcs["f"]
+	// o->in.x needs two field addrs; o->pin->y needs fieldaddr + load +
+	// fieldaddr.
+	if n := countInstrs[*cir.FieldAddr](fn); n < 6 {
+		t.Errorf("fieldaddrs = %d, want >= 6", n)
+	}
+}
+
+func TestLowerArrayOfStructs(t *testing.T) {
+	mod := mustLowerOne(t, `
+struct slot { int used; int key; };
+int find(struct slot *table, int n, int key) {
+	int i;
+	for (i = 0; i < n; i++) {
+		if (table[i].used && table[i].key == key)
+			return i;
+	}
+	return -1;
+}`)
+	if err := cir.Verify(mod); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestLowerDoWhileBreakContinue(t *testing.T) {
+	mod := mustLowerOne(t, `
+int f(int n) {
+	int s = 0;
+	do {
+		if (n == 3) {
+			n--;
+			continue;
+		}
+		if (n == 0)
+			break;
+		s += n;
+		n--;
+	} while (n > 0);
+	return s;
+}`)
+	if err := cir.Verify(mod); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestLowerSwitchInsideLoop(t *testing.T) {
+	mod := mustLowerOne(t, `
+int f(int *a, int n) {
+	int s = 0;
+	int i;
+	for (i = 0; i < n; i++) {
+		switch (a[i]) {
+		case 0:
+			continue;
+		case 1:
+			s += 1;
+			break;
+		default:
+			s += a[i];
+		}
+	}
+	return s;
+}`)
+	if err := cir.Verify(mod); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestLowerBreakBindsToSwitchThenLoop(t *testing.T) {
+	// break inside switch exits the switch; the loop continues.
+	mod := mustLowerOne(t, `
+int f(int n) {
+	int rounds = 0;
+	while (n > 0) {
+		switch (n) {
+		case 5:
+			break;
+		default:
+			rounds++;
+		}
+		n--;
+	}
+	return rounds;
+}`)
+	if err := cir.Verify(mod); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestLowerStructCopyThroughPointer(t *testing.T) {
+	mod := mustLowerOne(t, `
+struct pair { int a; int b; };
+void copy(struct pair *dst, struct pair *src) {
+	*dst = *src;
+}`)
+	if err := cir.Verify(mod); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	fn := mod.Funcs["copy"]
+	// Struct copy is load+store of the struct value.
+	if countInstrs[*cir.Load](fn) < 3 || countInstrs[*cir.Store](fn) < 3 {
+		t.Error("struct copy should load and store")
+	}
+}
+
+func TestLowerNestedTernary(t *testing.T) {
+	mod := mustLowerOne(t, `
+int clamp(int v, int lo, int hi) {
+	return v < lo ? lo : (v > hi ? hi : v);
+}`)
+	if err := cir.Verify(mod); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestLowerEnumInConditions(t *testing.T) {
+	mod := mustLowerOne(t, `
+enum { STATE_IDLE = 0, STATE_RUN = 1, STATE_DONE };
+int step(int st) {
+	if (st == STATE_RUN)
+		return STATE_DONE;
+	return STATE_IDLE;
+}`)
+	fn := mod.Funcs["step"]
+	sawTwo := false
+	fn.Instrs(func(in cir.Instr) {
+		if r, ok := in.(*cir.Ret); ok {
+			if c, isC := r.Val.(*cir.Const); isC && c.Val == 2 {
+				sawTwo = true
+			}
+		}
+	})
+	if !sawTwo {
+		t.Error("STATE_DONE should lower to constant 2")
+	}
+}
+
+func TestLowerCharArithmetic(t *testing.T) {
+	mod := mustLowerOne(t, `
+int hexval(char c) {
+	if (c >= '0' && c <= '9')
+		return c - '0';
+	if (c >= 'a' && c <= 'f')
+		return c - 'a' + 10;
+	return -1;
+}`)
+	if err := cir.Verify(mod); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestLowerGotoUndefinedLabelIsError(t *testing.T) {
+	_, err := LowerAll("m", map[string]string{"t.c": `
+void f(int a) {
+	if (a)
+		goto missing;
+	a = 1;
+}`})
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("expected undefined-label error, got %v", err)
+	}
+}
+
+func TestLowerBackwardGoto(t *testing.T) {
+	mod := mustLowerOne(t, `
+int f(int n) {
+	int tries = 0;
+again:
+	tries++;
+	if (tries < n)
+		goto again;
+	return tries;
+}`)
+	if err := cir.Verify(mod); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestLowerSharedHeaderAcrossFiles(t *testing.T) {
+	header := "struct shared { int id; struct shared *next; };\n"
+	mod, err := LowerAll("m", map[string]string{
+		"a.c": header + "int ida(struct shared *s) { return s->id; }",
+		"b.c": header + "int idb(struct shared *s) { return s->next->id; }",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.Structs) != 1 {
+		t.Errorf("duplicate struct definitions not merged: %d", len(mod.Structs))
+	}
+}
+
+func TestLowerSizeofValues(t *testing.T) {
+	mod := mustLowerOne(t, `
+struct big { int a; int b; char c; };
+long f(void) {
+	return sizeof(struct big) + sizeof(int) + sizeof(char *);
+}`)
+	fn := mod.Funcs["f"]
+	var total int64
+	fn.Instrs(func(in cir.Instr) {
+		if b, ok := in.(*cir.BinOp); ok && b.Op == cir.OpAdd {
+			if c, isC := b.Y.(*cir.Const); isC {
+				total += c.Val
+			}
+			if c, isC := b.X.(*cir.Const); isC {
+				total += c.Val
+			}
+		}
+	})
+	// sizeof(struct big)=8+8+1=17, sizeof(int)=8, sizeof(char*)=8.
+	if total != 17+8+8 {
+		t.Errorf("sizeof sum = %d, want 33", total)
+	}
+}
+
+func TestLowerLogicalNotOnInt(t *testing.T) {
+	mod := mustLowerOne(t, `
+int f(int n) {
+	int empty = !n;
+	return empty;
+}`)
+	fn := mod.Funcs["f"]
+	sawEq := false
+	fn.Instrs(func(in cir.Instr) {
+		if c, ok := in.(*cir.Cmp); ok && c.Pred == cir.PredEQ {
+			sawEq = true
+		}
+	})
+	if !sawEq {
+		t.Error("!n in value position should lower to cmp eq 0")
+	}
+}
+
+func TestLowerGlobalArrays(t *testing.T) {
+	mod := mustLowerOne(t, `
+int table[16];
+int get(int i) { return table[i]; }
+void set(int i, int v) { table[i] = v; }
+`)
+	if err := cir.Verify(mod); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	g := mod.Globals["table"]
+	if g == nil {
+		t.Fatal("global array missing")
+	}
+	if _, ok := g.Elem.(*cir.ArrayType); !ok {
+		t.Errorf("table type = %s", g.Elem)
+	}
+}
+
+func TestLowerVariadicCall(t *testing.T) {
+	mod := mustLowerOne(t, `
+int printk(const char *fmt, ...);
+void log_all(int a, int b) {
+	printk("a=%d b=%d", a, b);
+}`)
+	fn := mod.Funcs["log_all"]
+	var call *cir.Call
+	fn.Instrs(func(in cir.Instr) {
+		if c, ok := in.(*cir.Call); ok {
+			call = c
+		}
+	})
+	if call == nil || len(call.Args) != 3 {
+		t.Fatalf("variadic call args = %v", call)
+	}
+	if _, ok := call.Args[0].(*cir.Const); !ok {
+		t.Error("format string should be a constant")
+	}
+}
+
+// Golden IR test: the exact lowering of a small function, protecting the
+// MOVE/LOAD/STORE/GEP shapes the alias analysis depends on.
+func TestLowerGoldenIR(t *testing.T) {
+	mod := mustLowerOne(t, `struct s { long *p; };
+long f(struct s *a) {
+	long *t = a->p;
+	return *t;
+}`)
+	got := mod.Funcs["f"].String()
+	want := `func i64 f(struct s* %a.1) {
+entry0:
+	%a.2 = alloca struct s* ; a
+	store %a.2 <- %a.1
+	%t.3 = alloca i64* ; t
+	%a.4 = load %a.2
+	%p.5 = fieldaddr %a.4, .p
+	%ld.6 = load %p.5
+	store %t.3 <- %ld.6
+	%t.7 = load %t.3
+	%deref.8 = load %t.7
+	ret %deref.8
+}
+`
+	if got != want {
+		t.Errorf("golden IR mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLowerLocalAggregateInit(t *testing.T) {
+	mod := mustLowerOne(t, `
+struct ctl { int a; int b; };
+int f(void) {
+	struct ctl c = {0};
+	return c.a;
+}`)
+	fn := mod.Funcs["f"]
+	var sawMemset bool
+	fn.Instrs(func(in cir.Instr) {
+		if call, ok := in.(*cir.Call); ok && call.Callee == "memset" {
+			sawMemset = true
+		}
+	})
+	if !sawMemset {
+		t.Error("brace initializer should lower to bulk initialization")
+	}
+}

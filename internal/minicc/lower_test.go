@@ -1,0 +1,397 @@
+package minicc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cir"
+)
+
+func mustLowerOne(t *testing.T, src string) *cir.Module {
+	t.Helper()
+	mod, err := LowerAll("test", map[string]string{"t.c": src})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return mod
+}
+
+func countInstrs[T cir.Instr](fn *cir.Function) int {
+	n := 0
+	fn.Instrs(func(in cir.Instr) {
+		if _, ok := in.(T); ok {
+			n++
+		}
+	})
+	return n
+}
+
+func TestLowerFigure7(t *testing.T) {
+	// The paper's Figure 7 example program.
+	mod := mustLowerOne(t, `
+struct S { long *s; };
+void bar(struct S *p) {
+	long **r;
+	long *t;
+	long a;
+	r = &(p->s);
+	t = *r;
+	a = *t;
+}
+void foo(struct S *p) {
+	long **r;
+	long *t;
+	long a;
+	r = &(p->s);
+	t = *r;
+	if (!t)
+		bar(p);
+	else
+		a = *t;
+}`)
+	foo := mod.Funcs["foo"]
+	if foo == nil || foo.IsDecl() {
+		t.Fatal("foo not lowered")
+	}
+	if n := countInstrs[*cir.FieldAddr](foo); n != 1 {
+		t.Errorf("foo fieldaddr count = %d, want 1", n)
+	}
+	if n := countInstrs[*cir.Call](foo); n != 1 {
+		t.Errorf("foo call count = %d, want 1", n)
+	}
+	// The !t condition lowers to a cmp against null with swapped targets.
+	ncmp := 0
+	foo.Instrs(func(in cir.Instr) {
+		if c, ok := in.(*cir.Cmp); ok {
+			ncmp++
+			_ = c
+		}
+	})
+	if ncmp != 1 {
+		t.Errorf("foo cmp count = %d, want 1", ncmp)
+	}
+}
+
+func TestLowerParamsGetSlots(t *testing.T) {
+	mod := mustLowerOne(t, `void f(int a, char *p) { a = 1; p = NULL; }`)
+	fn := mod.Funcs["f"]
+	if len(fn.Params) != 2 {
+		t.Fatalf("params = %d", len(fn.Params))
+	}
+	// Two allocas (one per param) and two initial stores.
+	if n := countInstrs[*cir.Alloca](fn); n != 2 {
+		t.Errorf("allocas = %d, want 2", n)
+	}
+	if n := countInstrs[*cir.Store](fn); n != 4 { // 2 init + 2 assignments
+		t.Errorf("stores = %d, want 4", n)
+	}
+	// The NULL store must carry a pointer-typed null constant.
+	var nullStores int
+	fn.Instrs(func(in cir.Instr) {
+		if st, ok := in.(*cir.Store); ok {
+			if c, ok := st.Val.(*cir.Const); ok && c.IsNull {
+				nullStores++
+				if !cir.IsPointer(c.Typ) {
+					t.Error("null store constant is not pointer-typed")
+				}
+			}
+		}
+	})
+	if nullStores != 1 {
+		t.Errorf("null stores = %d, want 1", nullStores)
+	}
+}
+
+func TestLowerShortCircuit(t *testing.T) {
+	mod := mustLowerOne(t, `
+int f(int a, int b) {
+	if (a > 0 && b > 0)
+		return 1;
+	return 0;
+}`)
+	fn := mod.Funcs["f"]
+	// Short-circuit: two separate cmp+condbr pairs.
+	if n := countInstrs[*cir.Cmp](fn); n != 2 {
+		t.Errorf("cmps = %d, want 2", n)
+	}
+	if n := countInstrs[*cir.CondBr](fn); n != 2 {
+		t.Errorf("condbrs = %d, want 2", n)
+	}
+}
+
+func TestLowerPointerCondition(t *testing.T) {
+	mod := mustLowerOne(t, `void f(char *p) { if (p) p = NULL; }`)
+	fn := mod.Funcs["f"]
+	var sawNullCmp bool
+	fn.Instrs(func(in cir.Instr) {
+		if c, ok := in.(*cir.Cmp); ok {
+			if cir.IsNullConst(c.Y) && c.Pred == cir.PredNE {
+				sawNullCmp = true
+			}
+		}
+	})
+	if !sawNullCmp {
+		t.Error("if (p) should lower to cmp ne p, null")
+	}
+}
+
+func TestLowerGotoAndLabels(t *testing.T) {
+	mod := mustLowerOne(t, `
+int f(int a) {
+	if (a < 0)
+		goto out;
+	a = a + 1;
+out:
+	return a;
+}`)
+	fn := mod.Funcs["f"]
+	if err := cir.Verify(mod); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	found := false
+	for _, b := range fn.Blocks {
+		if strings.HasPrefix(b.Name, "L.out") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("label block missing")
+	}
+}
+
+func TestLowerLoopsVerify(t *testing.T) {
+	mod := mustLowerOne(t, `
+int f(int n) {
+	int s = 0;
+	int i;
+	for (i = 0; i < n; i++)
+		s = s + i;
+	while (s > 100)
+		s = s - 1;
+	do { s++; } while (s < 0);
+	return s;
+}`)
+	if err := cir.Verify(mod); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestLowerSwitchFallthrough(t *testing.T) {
+	mod := mustLowerOne(t, `
+int f(int n) {
+	int r = 0;
+	switch (n) {
+	case 1:
+		r = 1;
+	case 2:
+		r = r + 2;
+		break;
+	default:
+		r = 9;
+	}
+	return r;
+}`)
+	if err := cir.Verify(mod); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	fn := mod.Funcs["f"]
+	// Dispatch: two eq compares (case 1, case 2).
+	if n := countInstrs[*cir.Cmp](fn); n != 2 {
+		t.Errorf("cmps = %d, want 2", n)
+	}
+}
+
+func TestLowerCallsAndImplicitDecls(t *testing.T) {
+	mod := mustLowerOne(t, `
+void f(void) {
+	int x = helper(1, 2);
+	log_msg("hi", x);
+}`)
+	if mod.Funcs["helper"] == nil || !mod.Funcs["helper"].IsDecl() {
+		t.Error("helper should be implicitly declared")
+	}
+	if mod.Funcs["log_msg"] == nil {
+		t.Error("log_msg should be implicitly declared")
+	}
+}
+
+func TestLowerStaticMangling(t *testing.T) {
+	mod, err := LowerAll("m", map[string]string{
+		"a.c": `static int helper(void) { return 1; } int usea(void) { return helper(); }`,
+		"b.c": `static int helper(void) { return 2; } int useb(void) { return helper(); }`,
+	})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	// Both helpers exist (one mangled) and each use calls its own file's.
+	if mod.Funcs["helper"] == nil || mod.Funcs["helper@b.c"] == nil {
+		t.Fatalf("static mangling missing: %v", mod.FuncNames())
+	}
+	useb := mod.Funcs["useb"]
+	var callee string
+	useb.Instrs(func(in cir.Instr) {
+		if c, ok := in.(*cir.Call); ok {
+			callee = c.Callee
+		}
+	})
+	if callee != "helper@b.c" {
+		t.Errorf("useb calls %q, want helper@b.c", callee)
+	}
+}
+
+func TestLowerAddressTakenFromAggregate(t *testing.T) {
+	mod := mustLowerOne(t, `
+static int my_probe(struct pd *p) { return 0; }
+static int my_remove(struct pd *p) { return 0; }
+static struct platform_driver drv = {
+	.probe = my_probe,
+	.remove = my_remove,
+};`)
+	if !mod.AddressTaken["my_probe"] || !mod.AddressTaken["my_remove"] {
+		t.Errorf("address-taken set = %v", mod.AddressTaken)
+	}
+}
+
+func TestLowerArrayIndexing(t *testing.T) {
+	mod := mustLowerOne(t, `
+int f(int i) {
+	int a[10];
+	a[0] = 1;
+	a[i] = 2;
+	return a[i + 1];
+}`)
+	fn := mod.Funcs["f"]
+	if n := countInstrs[*cir.IndexAddr](fn); n != 3 {
+		t.Errorf("indexaddrs = %d, want 3", n)
+	}
+	if err := cir.Verify(mod); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestLowerPointerArithmetic(t *testing.T) {
+	mod := mustLowerOne(t, `char *f(char *p, int n) { return p + n; }`)
+	fn := mod.Funcs["f"]
+	if n := countInstrs[*cir.IndexAddr](fn); n != 1 {
+		t.Errorf("pointer add should lower to indexaddr, got %d", n)
+	}
+}
+
+func TestLowerTernaryAndBoolValue(t *testing.T) {
+	mod := mustLowerOne(t, `
+int f(int a, int b) {
+	int m = a > b ? a : b;
+	int both = a && b;
+	return m + both;
+}`)
+	if err := cir.Verify(mod); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestLowerCastIsMove(t *testing.T) {
+	mod := mustLowerOne(t, `
+struct ctl { int x; };
+void f(void *p) {
+	struct ctl *c = (struct ctl *)p;
+	c->x = 1;
+}`)
+	fn := mod.Funcs["f"]
+	if n := countInstrs[*cir.Move](fn); n < 1 {
+		t.Error("cast should lower to a MOVE so aliasing is preserved")
+	}
+	if err := cir.Verify(mod); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestLowerCompoundAssignAndIncDec(t *testing.T) {
+	mod := mustLowerOne(t, `
+int f(int n) {
+	n += 3;
+	n *= 2;
+	n--;
+	++n;
+	return n;
+}`)
+	fn := mod.Funcs["f"]
+	if n := countInstrs[*cir.BinOp](fn); n != 4 {
+		t.Errorf("binops = %d, want 4", n)
+	}
+}
+
+func TestLowerGlobals(t *testing.T) {
+	mod := mustLowerOne(t, `
+int counter;
+int f(void) { counter = counter + 1; return counter; }`)
+	if mod.Globals["counter"] == nil {
+		t.Fatal("global missing")
+	}
+	if err := cir.Verify(mod); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestLowerFigure3ZephyrShape(t *testing.T) {
+	// Simplified from the paper's Figure 3 (Zephyr cfg_srv.c).
+	mod := mustLowerOne(t, `
+struct bt_mesh_cfg_srv { int frnd; };
+struct bt_mesh_model { void *user_data; };
+
+static void send_friend_status(struct bt_mesh_model *model) {
+	struct bt_mesh_cfg_srv *cfg = (struct bt_mesh_cfg_srv *)model->user_data;
+	net_buf_simple_add_u8(cfg->frnd);
+}
+
+static void friend_set(struct bt_mesh_model *model) {
+	struct bt_mesh_cfg_srv *cfg = (struct bt_mesh_cfg_srv *)model->user_data;
+	if (!cfg) {
+		goto send_status;
+	}
+	cfg->frnd = 1;
+send_status:
+	send_friend_status(model);
+}`)
+	if err := cir.Verify(mod); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	fs := mod.Funcs["friend_set"]
+	if fs == nil {
+		t.Fatal("friend_set missing")
+	}
+	if n := countInstrs[*cir.Call](fs); n != 1 {
+		t.Errorf("friend_set calls = %d, want 1", n)
+	}
+}
+
+func TestLowerSourceLineTracking(t *testing.T) {
+	mod := mustLowerOne(t, "int f(void) {\n\treturn 7;\n}\n")
+	fn := mod.Funcs["f"]
+	var retLine int
+	fn.Instrs(func(in cir.Instr) {
+		if _, ok := in.(*cir.Ret); ok {
+			retLine = in.Position().Line
+		}
+	})
+	if retLine != 2 {
+		t.Errorf("ret line = %d, want 2", retLine)
+	}
+	if mod.SourceLines < 3 {
+		t.Errorf("SourceLines = %d", mod.SourceLines)
+	}
+}
+
+func TestLowerUndefinedVariableIsError(t *testing.T) {
+	_, err := LowerAll("m", map[string]string{"t.c": `void f(void) { x = 1; }`})
+	if err == nil {
+		t.Error("expected error for undefined variable")
+	}
+}
+
+func TestLowerVoidPointerModel(t *testing.T) {
+	mod := mustLowerOne(t, `void f(void *p) { char *q = (char *)p; q = q; }`)
+	fn := mod.Funcs["f"]
+	if !cir.IsPointer(fn.Params[0].Typ) {
+		t.Error("void* param should be pointer-typed")
+	}
+}

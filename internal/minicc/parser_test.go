@@ -1,0 +1,264 @@
+package minicc
+
+import (
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return f
+}
+
+func TestParseStruct(t *testing.T) {
+	f := mustParse(t, `
+struct dev {
+	int flags;
+	struct dev *next;
+	char name[16];
+	int a, b;
+};`)
+	if len(f.Structs) != 1 {
+		t.Fatalf("structs = %d", len(f.Structs))
+	}
+	st := f.Structs[0]
+	if st.Name != "dev" || len(st.Fields) != 5 {
+		t.Fatalf("struct %s has %d fields", st.Name, len(st.Fields))
+	}
+	if st.Fields[1].Type.Ptr != 1 || !st.Fields[1].Type.IsStruct {
+		t.Error("next should be struct pointer")
+	}
+	if st.Fields[2].Type.ArrayLen != 16 {
+		t.Errorf("name array len = %d", st.Fields[2].Type.ArrayLen)
+	}
+}
+
+func TestParseFunctionAndParams(t *testing.T) {
+	f := mustParse(t, `
+static int probe(struct pdev *p, int n) { return n; }
+void decl_only(char *s);
+int varargs(const char *fmt, ...);
+`)
+	if len(f.Funcs) != 3 {
+		t.Fatalf("funcs = %d", len(f.Funcs))
+	}
+	probe := f.Funcs[0]
+	if !probe.Static || probe.Name != "probe" || len(probe.Params) != 2 || probe.Body == nil {
+		t.Errorf("probe parsed wrong: %+v", probe)
+	}
+	if f.Funcs[1].Body != nil {
+		t.Error("decl_only should have no body")
+	}
+	if !f.Funcs[2].Variadic {
+		t.Error("varargs should be variadic")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := mustParse(t, `int g(int a, int b) { return a + b * 2 == a && b < 3 || a; }`)
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	or, ok := ret.X.(*Binary)
+	if !ok || or.Op != "||" {
+		t.Fatalf("top must be ||, got %#v", ret.X)
+	}
+	and, ok := or.X.(*Binary)
+	if !ok || and.Op != "&&" {
+		t.Fatalf("lhs of || must be &&, got %#v", or.X)
+	}
+	eq, ok := and.X.(*Binary)
+	if !ok || eq.Op != "==" {
+		t.Fatalf("lhs of && must be ==, got %#v", and.X)
+	}
+	add, ok := eq.X.(*Binary)
+	if !ok || add.Op != "+" {
+		t.Fatalf("lhs of == must be +, got %#v", eq.X)
+	}
+	if mul, ok := add.Y.(*Binary); !ok || mul.Op != "*" {
+		t.Fatalf("rhs of + must be *, got %#v", add.Y)
+	}
+}
+
+func TestParsePostfixChain(t *testing.T) {
+	f := mustParse(t, `void g(struct a *p) { p->x.y[3]->z = 1; }`)
+	es := f.Funcs[0].Body.Stmts[0].(*ExprStmt)
+	asn := es.X.(*Assign)
+	sel := asn.X.(*Select)
+	if sel.Field != "z" || !sel.Arrow {
+		t.Fatalf("outer select: %+v", sel)
+	}
+	idx := sel.X.(*Index)
+	sel2 := idx.X.(*Select)
+	if sel2.Field != "y" || sel2.Arrow {
+		t.Fatalf("middle select: %+v", sel2)
+	}
+	sel3 := sel2.X.(*Select)
+	if sel3.Field != "x" || !sel3.Arrow {
+		t.Fatalf("inner select: %+v", sel3)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	f := mustParse(t, `
+void g(int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		if (i == 3) continue;
+		if (i == 5) break;
+	}
+	while (n > 0) n--;
+	do { n++; } while (n < 10);
+	goto out;
+out:
+	return;
+}`)
+	body := f.Funcs[0].Body.Stmts
+	if _, ok := body[1].(*ForStmt); !ok {
+		t.Errorf("stmt 1 should be for, got %T", body[1])
+	}
+	if _, ok := body[2].(*WhileStmt); !ok {
+		t.Errorf("stmt 2 should be while, got %T", body[2])
+	}
+	w := body[3].(*WhileStmt)
+	if !w.DoWhile {
+		t.Error("stmt 3 should be do-while")
+	}
+	if g, ok := body[4].(*GotoStmt); !ok || g.Label != "out" {
+		t.Errorf("stmt 4 should be goto out, got %#v", body[4])
+	}
+	if l, ok := body[5].(*LabelStmt); !ok || l.Name != "out" {
+		t.Errorf("stmt 5 should be label out, got %#v", body[5])
+	}
+}
+
+func TestParseSwitch(t *testing.T) {
+	f := mustParse(t, `
+int g(int n) {
+	switch (n) {
+	case 1:
+		return 10;
+	case 2:
+	case 3:
+		n = 5;
+		break;
+	default:
+		return 0;
+	}
+	return n;
+}`)
+	sw := f.Funcs[0].Body.Stmts[0].(*SwitchStmt)
+	if len(sw.Cases) != 4 {
+		t.Fatalf("cases = %d, want 4", len(sw.Cases))
+	}
+	if !sw.Cases[3].IsDefault {
+		t.Error("last clause should be default")
+	}
+	if len(sw.Cases[1].Body) != 0 {
+		t.Error("empty fallthrough case should have no body")
+	}
+}
+
+func TestParseGlobalsAndAggregates(t *testing.T) {
+	f := mustParse(t, `
+int counter;
+static struct platform_driver s5p_mfc_driver = {
+	.probe = s5p_mfc_probe,
+	.remove = s5p_mfc_remove,
+};
+int a = 5, b;
+`)
+	if len(f.Globals) != 4 {
+		t.Fatalf("globals = %d, want 4", len(f.Globals))
+	}
+	drv := f.Globals[1]
+	if len(drv.InitNames) < 2 {
+		t.Fatalf("aggregate init names = %v", drv.InitNames)
+	}
+	has := map[string]bool{}
+	for _, n := range drv.InitNames {
+		has[n] = true
+	}
+	if !has["s5p_mfc_probe"] || !has["s5p_mfc_remove"] {
+		t.Errorf("missing probe/remove in %v", drv.InitNames)
+	}
+}
+
+func TestParseTypedefAndEnum(t *testing.T) {
+	f := mustParse(t, `
+typedef struct ktask { int id; } ktask_t;
+typedef long k_err_t;
+enum { K_OK = 0, K_FAIL = 5, K_NEXT };
+k_err_t use(ktask_t *t) { return K_NEXT; }
+`)
+	if len(f.Structs) != 1 || f.Structs[0].Name != "ktask" {
+		t.Fatal("typedef struct not recorded")
+	}
+	if len(f.Enums) != 1 || f.Enums[0].Names[2] != "K_NEXT" || f.Enums[0].Vals[2] != 6 {
+		t.Fatalf("enum parse: %+v", f.Enums)
+	}
+	fn := f.Funcs[0]
+	if !fn.Params[0].Type.IsStruct || fn.Params[0].Type.Ptr != 1 {
+		t.Errorf("ktask_t* param resolved wrong: %+v", fn.Params[0].Type)
+	}
+}
+
+func TestParseCastAndSizeof(t *testing.T) {
+	f := mustParse(t, `
+void g(void *p) {
+	struct ctl *c = (struct ctl *)p;
+	long n = sizeof(struct ctl);
+	long m = sizeof(n);
+	c = c;
+	n = n + m;
+}`)
+	ds := f.Funcs[0].Body.Stmts[0].(*DeclStmt)
+	if _, ok := ds.Decls[0].Init.(*Cast); !ok {
+		t.Errorf("init should be cast, got %T", ds.Decls[0].Init)
+	}
+	ds2 := f.Funcs[0].Body.Stmts[1].(*DeclStmt)
+	sz, ok := ds2.Decls[0].Init.(*SizeofExpr)
+	if !ok || !sz.IsType {
+		t.Errorf("sizeof(type) parse: %#v", ds2.Decls[0].Init)
+	}
+}
+
+func TestParseTernary(t *testing.T) {
+	f := mustParse(t, `int g(int a) { return a ? a + 1 : 0; }`)
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	if _, ok := ret.X.(*Cond); !ok {
+		t.Errorf("want ternary, got %T", ret.X)
+	}
+}
+
+func TestParseErrorsRecover(t *testing.T) {
+	f, err := Parse("t.c", `int g( { return; } int h(void) { return 1; }`)
+	if err == nil {
+		t.Error("expected parse error")
+	}
+	// h should still be found despite the error in g.
+	found := false
+	for _, fn := range f.Funcs {
+		if fn.Name == "h" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("parser did not recover to parse h")
+	}
+}
+
+func TestParseIndirectCallRejected(t *testing.T) {
+	_, err := Parse("t.c", `void g(void (*f)(void)) { (*f)(); }`)
+	if err == nil {
+		t.Error("indirect call should be an error")
+	}
+}
+
+func TestParseLineCount(t *testing.T) {
+	f := mustParse(t, "int x;\nint y;\n")
+	if f.Lines < 2 {
+		t.Errorf("lines = %d", f.Lines)
+	}
+}

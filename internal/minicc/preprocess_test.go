@@ -1,0 +1,171 @@
+package minicc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cir"
+)
+
+func TestPreprocessObjectMacro(t *testing.T) {
+	got := Preprocess("#define MAX_DEVS 8\nint a[MAX_DEVS];\n")
+	if !strings.Contains(got, "int a[8];") {
+		t.Errorf("got %q", got)
+	}
+	// The directive line becomes blank, preserving numbering.
+	if !strings.HasPrefix(got, "\n") {
+		t.Errorf("directive not blanked: %q", got)
+	}
+}
+
+func TestPreprocessFunctionMacro(t *testing.T) {
+	got := Preprocess(`#define MIN(a, b) ((a) < (b) ? (a) : (b))
+int m = MIN(x + 1, y);`)
+	if !strings.Contains(got, "((x + 1) < (y) ? (x + 1) : (y))") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPreprocessContinuationAndNesting(t *testing.T) {
+	src := `#define CHECK(obj) \
+	if (verify(obj)) \
+		log_fail(obj)
+#define WRAP(x) CHECK(x)
+WRAP(dev);`
+	got := Preprocess(src)
+	if !strings.Contains(got, "if (verify(dev))") {
+		t.Errorf("nested expansion failed: %q", got)
+	}
+	// 5 input lines -> 5 output lines.
+	if strings.Count(got, "\n") != strings.Count(src, "\n") {
+		t.Errorf("line count changed: %d vs %d", strings.Count(got, "\n"), strings.Count(src, "\n"))
+	}
+}
+
+func TestPreprocessIfZero(t *testing.T) {
+	got := Preprocess(`int keep1;
+#if 0
+int dead;
+#else
+int keep2;
+#endif
+int keep3;`)
+	if strings.Contains(got, "dead") {
+		t.Errorf("#if 0 text kept: %q", got)
+	}
+	for _, want := range []string{"keep1", "keep2", "keep3"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q: %q", want, got)
+		}
+	}
+}
+
+func TestPreprocessIfdef(t *testing.T) {
+	got := Preprocess(`#define CONFIG_FOO 1
+#ifdef CONFIG_FOO
+int foo_on;
+#endif
+#ifndef CONFIG_BAR
+int bar_off;
+#endif
+#ifdef CONFIG_BAR
+int bar_on;
+#endif`)
+	if !strings.Contains(got, "foo_on") || !strings.Contains(got, "bar_off") {
+		t.Errorf("ifdef handling: %q", got)
+	}
+	if strings.Contains(got, "bar_on") {
+		t.Errorf("undefined ifdef kept: %q", got)
+	}
+}
+
+func TestPreprocessStringsUntouched(t *testing.T) {
+	got := Preprocess("#define FOO 1\nchar *s = \"FOO FOO\";\nint x = FOO;")
+	if !strings.Contains(got, `"FOO FOO"`) {
+		t.Errorf("macro expanded inside string: %q", got)
+	}
+	if !strings.Contains(got, "int x = 1;") {
+		t.Errorf("macro not expanded outside string: %q", got)
+	}
+}
+
+func TestPreprocessSelfReferenceBounded(t *testing.T) {
+	got := Preprocess("#define LOOP LOOP + 1\nint x = LOOP;")
+	// Must terminate; exact result is the bounded expansion.
+	if !strings.Contains(got, "int x =") {
+		t.Errorf("self-referential macro broke the line: %q", got)
+	}
+}
+
+func TestPreprocessUndef(t *testing.T) {
+	got := Preprocess("#define N 4\n#undef N\nint a = N;")
+	if !strings.Contains(got, "int a = N;") {
+		t.Errorf("undef ignored: %q", got)
+	}
+}
+
+// TestFigure12dWithRealMacro ports the TencentOS case with its actual
+// TOS_OBJ_TEST_RC macro layer, now expressible thanks to the preprocessor.
+func TestFigure12dWithRealMacro(t *testing.T) {
+	mod := mustLowerOne(t, `
+struct ktask { int knl_obj; };
+struct pthread_ctl { struct ktask ktask; };
+#define TOS_OBJ_TEST_RC(obj, rc) \
+	if (knl_object_verify(&obj->knl_obj)) \
+		return rc;
+static long knl_object_verify(struct ktask *obj) {
+	return obj->knl_obj == 7;
+}
+static long tos_task_create(struct ktask *task) {
+	TOS_OBJ_TEST_RC(task, -22)
+	return 0;
+}
+int pthread_create(int stacksize) {
+	char *stackaddr = (char *)tos_mmheap_alloc(stacksize);
+	struct pthread_ctl *the_ctl = (struct pthread_ctl *)stackaddr;
+	long rc = tos_task_create(&the_ctl->ktask);
+	tos_mmheap_free(stackaddr);
+	return rc;
+}`)
+	if err := cir.Verify(mod); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// The macro body must have been lowered into tos_task_create.
+	fn := mod.Funcs["tos_task_create"]
+	calls := 0
+	fn.Instrs(func(in cir.Instr) {
+		if c, ok := in.(*cir.Call); ok && c.Callee == "knl_object_verify" {
+			calls++
+		}
+	})
+	if calls != 1 {
+		t.Errorf("macro-expanded call count = %d, want 1", calls)
+	}
+}
+
+// Property: preprocessing never changes the number of lines (bug positions
+// depend on it), and never panics, for arbitrary inputs.
+func TestPreprocessLinePreservationProperty(t *testing.T) {
+	f := func(src string) bool {
+		out := Preprocess(src)
+		return strings.Count(out, "\n") == strings.Count(src, "\n")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	// Directive-heavy structured inputs too.
+	structured := []string{
+		"#define A 1\n#define B A\nint x = B;",
+		"#if 0\n#if 1\nint dead;\n#endif\n#endif\nint live;",
+		"#define F(x) (x+\\\n1)\nint y = F(2);",
+		"#endif\n#else\nint stray;",
+		"#define\n#define 1 2\nint ok;",
+	}
+	for _, src := range structured {
+		out := Preprocess(src)
+		if strings.Count(out, "\n") != strings.Count(src, "\n") {
+			t.Errorf("line count changed for %q", src)
+		}
+	}
+}

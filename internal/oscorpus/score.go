@@ -1,0 +1,137 @@
+package oscorpus
+
+import (
+	"sort"
+
+	"repro/internal/typestate"
+)
+
+// Report is one detector finding in tool-neutral form.
+type Report struct {
+	Tool string
+	Type typestate.BugType
+	File string
+	Line int
+}
+
+// TypeCounts splits counts per bug type.
+type TypeCounts struct {
+	Found int
+	Real  int
+}
+
+// Score is the result of matching detector reports against ground truth —
+// the "Found bugs / Real bugs" cells of Tables 5–8.
+type Score struct {
+	Found    int // deduplicated reports
+	Real     int // reports matching a seeded bug
+	FalsePos int
+	ByType   map[typestate.BugType]*TypeCounts
+	// RealByCategory drives the Figure 11 distribution.
+	RealByCategory map[string]int
+	// Missed lists seeded bugs no report matched.
+	Missed []GroundTruth
+	// FPByMechanism classifies false positives by the trap that caused
+	// them ("other" when no trap matches) — the §5.2 audit.
+	FPByMechanism map[string]int
+}
+
+// FPRate returns the false-positive percentage of found bugs.
+func (s Score) FPRate() float64 {
+	if s.Found == 0 {
+		return 0
+	}
+	return 100 * float64(s.FalsePos) / float64(s.Found)
+}
+
+// Evaluate matches reports against the corpus ground truth. Reports at the
+// same (file, line, type) are deduplicated; a report is real when a seeded
+// bug of the same type sits within one line of it (positions may be
+// attributed to the statement rather than the expression).
+func Evaluate(c *Corpus, reports []Report) Score {
+	s := Score{
+		ByType:         make(map[typestate.BugType]*TypeCounts),
+		RealByCategory: make(map[string]int),
+		FPByMechanism:  make(map[string]int),
+	}
+	counts := func(bt typestate.BugType) *TypeCounts {
+		tc, ok := s.ByType[bt]
+		if !ok {
+			tc = &TypeCounts{}
+			s.ByType[bt] = tc
+		}
+		return tc
+	}
+
+	type key struct {
+		file string
+		line int
+		bt   typestate.BugType
+	}
+	seen := map[key]bool{}
+	matched := map[string]bool{} // ground-truth IDs hit
+
+	findTruth := func(r Report) *GroundTruth {
+		for i := range c.Truth {
+			g := &c.Truth[i]
+			if g.File == r.File && g.Type == r.Type && abs(g.Line-r.Line) <= 1 {
+				return g
+			}
+		}
+		return nil
+	}
+	findTrap := func(r Report) *Trap {
+		for i := range c.Traps {
+			t := &c.Traps[i]
+			if t.File == r.File && t.Type == r.Type && abs(t.Line-r.Line) <= 2 {
+				return t
+			}
+		}
+		return nil
+	}
+
+	for _, r := range reports {
+		k := key{file: r.File, line: r.Line, bt: r.Type}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		s.Found++
+		counts(r.Type).Found++
+		if g := findTruth(r); g != nil {
+			if !matched[g.ID] {
+				matched[g.ID] = true
+				s.Real++
+				counts(r.Type).Real++
+				s.RealByCategory[g.Category]++
+			} else {
+				// A second report of an already-matched bug (different
+				// line within tolerance) still counts as found-real-ish;
+				// treat as duplicate, not FP.
+				s.Found--
+				counts(r.Type).Found--
+			}
+			continue
+		}
+		s.FalsePos++
+		if t := findTrap(r); t != nil {
+			s.FPByMechanism[t.Mechanism]++
+		} else {
+			s.FPByMechanism["other"]++
+		}
+	}
+	for _, g := range c.Truth {
+		if !matched[g.ID] {
+			s.Missed = append(s.Missed, g)
+		}
+	}
+	sort.Slice(s.Missed, func(i, j int) bool { return s.Missed[i].ID < s.Missed[j].ID })
+	return s
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,384 @@
+// Package pathval implements the paper's alias-aware path-validation method
+// (§3.3). For each candidate bug, the recorded control-flow path is replayed
+// with a fresh alias graph; instructions translate into SMT constraints per
+// Table 3, with all variables of one alias set mapped to ONE SMT symbol
+// (Definitions 4–5). Assignments between aliases therefore produce no
+// constraints at all, and the implicit field-equality constraints of Figure
+// 9(b) vanish, which is the mechanism behind the paper's 87.3% constraint
+// reduction (Table 5). The conjunction is then decided by internal/smt; an
+// unsatisfiable path is infeasible and the bug is dropped.
+package pathval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/aliasgraph"
+	"repro/internal/cir"
+	"repro/internal/core"
+	"repro/internal/smt"
+)
+
+// Validator validates candidate bug paths. Safe for reuse across bugs; not
+// safe for concurrent use.
+type Validator struct {
+	// Stats accumulates solver work.
+	Queries int64
+	Unsat   int64
+	Sat     int64
+	Unknown int64
+}
+
+// New returns a Validator.
+func New() *Validator { return &Validator{} }
+
+// Install wires the validator into an engine config.
+func (v *Validator) Install(cfg *core.Config) {
+	cfg.Validate = true
+	cfg.ValidatePath = v.Validate
+}
+
+// Validate decides a candidate bug's feasibility: its primary witness path
+// is replayed and solved; when that path is proven infeasible, the
+// alternate witnesses recorded for the same (origin, bug) pair are tried in
+// turn. The bug survives if any witness path is feasible.
+func (v *Validator) Validate(bug *core.PossibleBug, mode core.Mode) core.ValidationOutcome {
+	out := v.validateOne(bug, bug.Path, mode)
+	for _, alt := range bug.AltPaths {
+		if out.Feasible {
+			break
+		}
+		altOut := v.validateOne(bug, alt, mode)
+		out.Feasible = altOut.Feasible
+		out.Constraints += altOut.Constraints
+		out.ConstraintsUnaware += altOut.ConstraintsUnaware
+	}
+	return out
+}
+
+func (v *Validator) validateOne(bug *core.PossibleBug, path []core.PathStep, mode core.Mode) core.ValidationOutcome {
+	v.Queries++
+	r := &replayer{
+		mode:  mode,
+		g:     aliasgraph.New(),
+		ctx:   smt.NewContext(),
+		syms:  make(map[*aliasgraph.Node]*smt.Var),
+		slot:  make(map[cir.Value]*smt.Var),
+		execs: make(map[int]int),
+	}
+	r.replay(bug, path)
+	solver := smt.NewSolver(r.ctx)
+	res, model := solver.SolveWithModel(smt.And(r.atoms...))
+	switch res {
+	case smt.Unsat:
+		v.Unsat++
+	case smt.Sat:
+		v.Sat++
+	default:
+		v.Unknown++
+	}
+	return core.ValidationOutcome{
+		// Only a proven-unsatisfiable path is infeasible; Sat and Unknown
+		// keep the bug (conservative for a bug finder).
+		Feasible:           res != smt.Unsat,
+		Constraints:        int64(len(r.atoms)),
+		ConstraintsUnaware: r.unaware,
+		Trigger:            r.triggerValues(model),
+	}
+}
+
+// triggerValues renders the solver model as "name = value" pairs for
+// source-named variables, giving reports concrete inputs that drive the
+// witness path.
+func (r *replayer) triggerValues(model smt.Model) []string {
+	if len(model) == 0 {
+		return nil
+	}
+	var out []string
+	seen := map[string]bool{}
+	for node, sym := range r.syms {
+		val, ok := model[sym.ID]
+		if !ok {
+			continue
+		}
+		name := ""
+		for _, v := range node.Vars() {
+			if reg, isReg := v.(*cir.Register); isReg && reg.Name != "" && !strings.Contains(reg.Name, ".") {
+				// Prefer source-level names over compiler temporaries.
+				if !isTempName(reg.Name) {
+					name = reg.Name
+					break
+				}
+			}
+		}
+		if name == "" || seen[name] {
+			continue
+		}
+		seen[name] = true
+		out = append(out, fmt.Sprintf("%s = %d", name, val))
+	}
+	sort.Strings(out)
+	if len(out) > 6 {
+		out = out[:6]
+	}
+	return out
+}
+
+// isTempName reports compiler-generated register hints.
+func isTempName(n string) bool {
+	switch n {
+	case "cond", "cmp", "ld", "deref", "bin", "not", "neg", "bnot", "old",
+		"inc", "idx", "cast", "ptradd", "sw", "bool", "t":
+		return true
+	}
+	return false
+}
+
+// replayer re-simulates a recorded path, building constraints.
+type replayer struct {
+	mode    core.Mode
+	g       *aliasgraph.Graph
+	ctx     *smt.Context
+	syms    map[*aliasgraph.Node]*smt.Var
+	slot    map[cir.Value]*smt.Var // PATA-NA: versioned local-slot symbols
+	atoms   []smt.Formula
+	unaware int64
+	frames  []*cir.Call
+	execs   map[int]int // per-instruction execution count on this path
+}
+
+// symOf returns the single SMT symbol of an alias class (Definition 4).
+func (r *replayer) symOf(n *aliasgraph.Node) *smt.Var {
+	if s, ok := r.syms[n]; ok {
+		return s
+	}
+	s := r.ctx.Var("as")
+	r.syms[n] = s
+	return s
+}
+
+// termOf is R(v) of Definition 5: constants map to literals; variables map
+// to their alias class's symbol (or, alias-unawarely, to per-slot symbols).
+func (r *replayer) termOf(v cir.Value) smt.Term {
+	if c, ok := v.(*cir.Const); ok {
+		if c.IsNull {
+			return smt.Int(0)
+		}
+		if c.IsStr {
+			return r.ctx.OpaqueFor(smt.Bin("str", smt.Int(int64(len(c.Str))), smt.Int(0)))
+		}
+		return smt.Int(c.Val)
+	}
+	n := r.g.NodeOf(v)
+	if n.ConstVal != nil && !n.ConstVal.IsStr {
+		if n.ConstVal.IsNull {
+			return smt.Int(0)
+		}
+		return smt.Int(n.ConstVal.Val)
+	}
+	return r.symOf(n)
+}
+
+func (r *replayer) addAtom(f smt.Formula) { r.atoms = append(r.atoms, f) }
+
+// countUnaware accounts what the alias-unaware encoding would emit for a
+// data-flow fact over a value of type t: one explicit constraint plus one
+// implicit equality per struct field reachable at the first level
+// (Figure 9b).
+func (r *replayer) countUnaware(t cir.Type) {
+	r.unaware += 1 + int64(cir.NumFields(t))
+}
+
+func (r *replayer) replay(bug *core.PossibleBug, steps []core.PathStep) {
+	for i, st := range steps {
+		in := st.Instr
+		if r.execs[in.GID()] > 0 {
+			// Loop unrolling beyond once: a re-executed definition is a new
+			// dynamic instance (fresh class, fresh symbol).
+			if dst := in.Dest(); dst != nil {
+				r.g.Detach(dst)
+			}
+		}
+		r.execs[in.GID()]++
+		switch t := in.(type) {
+		case *cir.Move:
+			r.applyMoveLike(t.Dst, t.Src)
+		case *cir.Load:
+			r.replayLoad(t)
+		case *cir.Store:
+			r.replayStore(t)
+		case *cir.FieldAddr:
+			if r.mode != core.ModeNoAlias {
+				r.g.GEP(t.Dst, t.Base, aliasgraph.FieldLabel(t.Field))
+			}
+			r.countUnaware(t.Dst.Typ)
+		case *cir.IndexAddr:
+			if r.mode != core.ModeNoAlias {
+				r.g.GEP(t.Dst, t.Base, aliasgraph.IndexLabel(t.Index, t.GID()))
+			}
+			r.countUnaware(t.Dst.Typ)
+		case *cir.BinOp:
+			r.replayBinOp(t)
+		case *cir.Cmp:
+			// Encoded at the branch that consumes it.
+		case *cir.CondBr:
+			r.replayBranch(t, st.Taken)
+		case *cir.Call:
+			// Inlined iff the next step is the callee's entry instruction.
+			if i+1 < len(steps) {
+				if callee, ok := r.calleeOf(t, steps[i+1].Instr); ok {
+					for ai, p := range callee.Params {
+						if ai >= len(t.Args) {
+							break
+						}
+						r.applyMoveLike(p, t.Args[ai])
+					}
+					r.frames = append(r.frames, t)
+				}
+			}
+		case *cir.Ret:
+			if len(r.frames) > 0 {
+				call := r.frames[len(r.frames)-1]
+				r.frames = r.frames[:len(r.frames)-1]
+				if call.Dst != nil && t.Val != nil {
+					r.applyMoveLike(call.Dst, t.Val)
+				}
+			}
+		}
+	}
+	if bug.Extra != nil {
+		r.addAtom(predAtom(bug.Extra.Pred, r.termOf(bug.Extra.Val), smt.Int(bug.Extra.Bound)))
+	}
+}
+
+// calleeOf reports whether next is the entry instruction of call's callee.
+func (r *replayer) calleeOf(call *cir.Call, next cir.Instr) (*cir.Function, bool) {
+	blk := next.Block()
+	if blk == nil || blk.Fn == nil || blk.Fn.Name != call.Callee {
+		return nil, false
+	}
+	entry := blk.Fn.Entry()
+	if entry == nil || len(entry.Instrs) == 0 || entry.Instrs[0] != next {
+		return nil, false
+	}
+	return blk.Fn, true
+}
+
+// applyMoveLike records v1 = v2 (MOVE, parameter binding or return binding).
+// Alias-aware: the graph merge makes the constraint a tautology, so nothing
+// is emitted (the explicit-constraint drop of Figure 9c). Alias-unaware: an
+// explicit equality between the two symbols is emitted.
+func (r *replayer) applyMoveLike(dst *cir.Register, src cir.Value) {
+	r.countUnaware(dst.Typ)
+	if r.mode == core.ModeNoAlias {
+		if _, isConst := src.(*cir.Const); isConst {
+			r.g.Move(dst, src) // constant binding is still visible
+		} else {
+			d := r.symOf(r.g.NodeOf(dst))
+			s := r.termOf(src)
+			r.addAtom(smt.Eq(d, s))
+		}
+		return
+	}
+	r.g.Move(dst, src)
+}
+
+func (r *replayer) replayLoad(t *cir.Load) {
+	r.countUnaware(t.Dst.Typ)
+	if r.mode == core.ModeNoAlias {
+		if isAllocaReg(t.Addr) {
+			if s, ok := r.slot[t.Addr]; ok {
+				r.addAtom(smt.Eq(r.symOf(r.g.NodeOf(t.Dst)), s))
+			}
+		}
+		return
+	}
+	r.g.Load(t.Dst, t.Addr)
+}
+
+func (r *replayer) replayStore(t *cir.Store) {
+	if c, ok := t.Val.(*cir.Const); ok && !c.IsStr {
+		r.unaware++
+	} else {
+		r.countUnaware(t.Val.Type())
+	}
+	if r.mode == core.ModeNoAlias {
+		if isAllocaReg(t.Addr) {
+			// A fresh version symbol per store keeps flow-sensitivity for
+			// direct slots even without aliasing.
+			s := r.ctx.Var("slot")
+			r.slot[t.Addr] = s
+			r.addAtom(smt.Eq(s, r.termOf(t.Val)))
+		}
+		return
+	}
+	r.g.Store(t.Addr, t.Val)
+}
+
+func (r *replayer) replayBinOp(t *cir.BinOp) {
+	r.unaware++
+	x := r.termOf(t.X)
+	y := r.termOf(t.Y)
+	var term smt.Term
+	switch t.Op {
+	case cir.OpAdd:
+		term = smt.Add(x, y)
+	case cir.OpSub:
+		term = smt.Sub(x, y)
+	case cir.OpMul:
+		term = smt.Mul(x, y)
+	case cir.OpDiv:
+		term = smt.Div(x, y)
+	case cir.OpRem:
+		term = smt.Rem(x, y)
+	default:
+		term = smt.Bin(string(t.Op), x, y)
+	}
+	r.addAtom(smt.Eq(r.symOf(r.g.NodeOf(t.Dst)), term))
+}
+
+// replayBranch emits the Table 3 brt/brf constraint for the taken direction.
+func (r *replayer) replayBranch(br *cir.CondBr, taken bool) {
+	r.unaware++
+	reg, ok := br.Cond.(*cir.Register)
+	if !ok || reg.Def == nil {
+		return
+	}
+	cmp, ok := reg.Def.(*cir.Cmp)
+	if !ok {
+		return
+	}
+	pred := cmp.Pred
+	if !taken {
+		pred = pred.Negate()
+	}
+	r.addAtom(predAtom(pred, r.termOf(cmp.X), r.termOf(cmp.Y)))
+}
+
+func predAtom(p cir.Pred, x, y smt.Term) smt.Formula {
+	switch p {
+	case cir.PredEQ:
+		return smt.Eq(x, y)
+	case cir.PredNE:
+		return smt.Ne(x, y)
+	case cir.PredLT:
+		return smt.Lt(x, y)
+	case cir.PredLE:
+		return smt.Le(x, y)
+	case cir.PredGT:
+		return smt.Gt(x, y)
+	case cir.PredGE:
+		return smt.Ge(x, y)
+	}
+	return smt.True
+}
+
+func isAllocaReg(v cir.Value) bool {
+	r, ok := v.(*cir.Register)
+	if !ok || r.Def == nil {
+		return false
+	}
+	_, isAlloca := r.Def.(*cir.Alloca)
+	return isAlloca
+}

@@ -1,0 +1,293 @@
+package pathval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/minicc"
+	"repro/internal/typestate"
+)
+
+// analyze runs Stage 1 only and returns candidates plus a validator.
+func analyze(t *testing.T, src string, mode core.Mode) ([]*core.PossibleBug, *Validator) {
+	t.Helper()
+	mod, err := minicc.LowerAll("m", map[string]string{"t.c": src})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	eng := core.NewEngine(mod, core.Config{Mode: mode})
+	res := eng.Run()
+	return res.Possible, New()
+}
+
+const infeasibleSrc = `
+struct s { int f; };
+void func(struct s *p, char *q) {
+	struct s *t;
+	if (q == 0)
+		p->f = 0;
+	t = p;
+	if (t->f != 0) {
+		if (q == 0)
+			use(*q);
+	}
+}`
+
+func TestInfeasiblePathUnsatAware(t *testing.T) {
+	cands, v := analyze(t, infeasibleSrc, core.ModePATA)
+	var target *core.PossibleBug
+	for _, pb := range cands {
+		if pb.BugInstr.Position().Line == 10 {
+			target = pb
+		}
+	}
+	if target == nil {
+		t.Fatalf("stage 1 did not produce the candidate; got %d candidates", len(cands))
+	}
+	out := v.Validate(target, core.ModePATA)
+	if out.Feasible {
+		t.Error("alias-aware validation should prove the path infeasible")
+	}
+	if out.Constraints == 0 || out.ConstraintsUnaware <= out.Constraints {
+		t.Errorf("constraint counts: aware=%d unaware=%d", out.Constraints, out.ConstraintsUnaware)
+	}
+}
+
+func TestFeasiblePathKept(t *testing.T) {
+	cands, v := analyze(t, `
+struct s { int f; };
+int func(struct s *p) {
+	if (!p)
+		return p->f;
+	return 0;
+}`, core.ModePATA)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	out := v.Validate(cands[0], core.ModePATA)
+	if !out.Feasible {
+		t.Error("feasible NPD path must be kept")
+	}
+}
+
+func TestContradictingGuardsDropped(t *testing.T) {
+	// x is set to 3 and then tested against 5: the deref is dead code.
+	cands, v := analyze(t, `
+void func(char *p) {
+	int x = 3;
+	if (x == 5) {
+		if (!p)
+			use(*p);
+	}
+}`, core.ModePATA)
+	for _, pb := range cands {
+		out := v.Validate(pb, core.ModePATA)
+		if out.Feasible {
+			t.Errorf("candidate at %s survived although x==5 contradicts x=3", pb.BugInstr.Position())
+		}
+	}
+	if v.Unsat == 0 {
+		t.Error("expected unsat verdicts")
+	}
+}
+
+func TestArithmeticPathConstraint(t *testing.T) {
+	// y = x + 1; x > 0 makes y == 0 impossible; the guarded deref is dead.
+	cands, v := analyze(t, `
+void func(char *p, int x) {
+	int y;
+	if (x > 0) {
+		y = x + 1;
+		if (y == 0) {
+			if (!p)
+				use(*p);
+		}
+	}
+}`, core.ModePATA)
+	dropped := 0
+	for _, pb := range cands {
+		if !v.Validate(pb, core.ModePATA).Feasible {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		t.Error("arithmetic contradiction not detected")
+	}
+}
+
+func TestNAValidationMissesAliasContradiction(t *testing.T) {
+	// Two distinct candidates reach line 10 (one per direction of the first
+	// branch). The q!=0/q==0 path is refutable even without aliasing, but
+	// the alias-dependent one (q==0 taken, then t->f != 0 vs p->f = 0) must
+	// survive NA validation — that is the Figure 9(b) false positive.
+	cands, _ := analyze(t, infeasibleSrc, core.ModeNoAlias)
+	v := New()
+	kept := 0
+	seen := 0
+	for _, pb := range cands {
+		if pb.BugInstr.Position().Line != 10 {
+			continue
+		}
+		seen++
+		if v.Validate(pb, core.ModeNoAlias).Feasible {
+			kept++
+		}
+	}
+	if seen == 0 {
+		t.Fatal("NA stage 1 produced no candidate at line 10")
+	}
+	if kept == 0 {
+		t.Error("NA validation should keep the alias-dependent false positive (Figure 9b)")
+	}
+}
+
+func TestValidatorStats(t *testing.T) {
+	cands, v := analyze(t, `
+struct s { int f; };
+int func(struct s *p) {
+	if (!p)
+		return p->f;
+	return 0;
+}`, core.ModePATA)
+	for _, pb := range cands {
+		v.Validate(pb, core.ModePATA)
+	}
+	if v.Queries != int64(len(cands)) || v.Queries == 0 {
+		t.Errorf("queries = %d, candidates = %d", v.Queries, len(cands))
+	}
+	if v.Sat+v.Unsat+v.Unknown != v.Queries {
+		t.Error("verdict counters do not add up")
+	}
+}
+
+func TestInstallWiresConfig(t *testing.T) {
+	var cfg core.Config
+	v := New()
+	v.Install(&cfg)
+	if !cfg.Validate || cfg.ValidatePath == nil {
+		t.Error("Install must enable validation")
+	}
+}
+
+func TestExtraConstraintDecides(t *testing.T) {
+	// AIU with a non-negative guard: index_use still emits inside the
+	// guarded region, but the extra constraint i < 0 conflicts with the
+	// path constraint i >= 10, so validation drops it.
+	mod, err := minicc.LowerAll("m", map[string]string{"t.c": `
+int pick(int *a, int i) {
+	if (i >= 10)
+		return a[i];
+	return 0;
+}`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(mod, core.Config{Checkers: []typestate.Checker{typestate.NewAIU()}})
+	res := eng.Run()
+	v := New()
+	for _, pb := range res.Possible {
+		if pb.Extra == nil {
+			continue
+		}
+		if v.Validate(pb, core.ModePATA).Feasible {
+			t.Errorf("i >= 10 path with i < 0 extra constraint kept at %s", pb.BugInstr.Position())
+		}
+	}
+}
+
+func TestTriggerValues(t *testing.T) {
+	cands, v := analyze(t, `
+struct s { int f; };
+int func(struct s *p, int n) {
+	if (n > 5) {
+		if (!p)
+			return p->f;
+	}
+	return 0;
+}`, core.ModePATA)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	var got []string
+	for _, pb := range cands {
+		out := v.Validate(pb, core.ModePATA)
+		if out.Feasible {
+			got = out.Trigger
+		}
+	}
+	joined := strings.Join(got, "; ")
+	// The witness must set p to NULL and n above 5.
+	if !strings.Contains(joined, "p = 0") {
+		t.Errorf("trigger should pin p to NULL: %v", got)
+	}
+	if !strings.Contains(joined, "n = 6") {
+		t.Errorf("trigger should pick the smallest n above the guard: %v", got)
+	}
+}
+
+func TestAltPathsRescueFeasibleBug(t *testing.T) {
+	// The first-recorded witness for the (origin, bug) pair is infeasible
+	// (x==3 vs x==5), but an alternate witness is feasible; validation must
+	// keep the bug by trying the alternates.
+	cands, v := analyze(t, `
+void func(char *p) {
+	int x = 3;
+	if (x == 5) {
+		if (!p)
+			use(*p);
+	}
+	if (!p)
+		use(*p);
+}`, core.ModePATA)
+	kept := false
+	for _, pb := range cands {
+		if v.Validate(pb, core.ModePATA).Feasible {
+			kept = true
+		}
+	}
+	if !kept {
+		t.Error("the feasible second witness should keep the bug")
+	}
+}
+
+func TestStringArgumentsOpaque(t *testing.T) {
+	// String literals become opaque symbols; paths through logging calls
+	// stay feasible.
+	cands, v := analyze(t, `
+struct s { int f; };
+int func(struct s *p) {
+	if (!p) {
+		log_err("device %s gone", "eth0");
+		return p->f;
+	}
+	return 0;
+}`, core.ModePATA)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, pb := range cands {
+		if !v.Validate(pb, core.ModePATA).Feasible {
+			t.Error("logging call must not poison feasibility")
+		}
+	}
+}
+
+func TestBitwiseGuardConstraint(t *testing.T) {
+	// flags & 4 is non-linear-ish (opaque), but the same opaque term used
+	// twice must be consistent: (flags&4)!=0 and (flags&4)==0 conflict.
+	cands, v := analyze(t, `
+void func(char *p, int flags) {
+	if (flags & 4) {
+		if ((flags & 4) == 0) {
+			if (!p)
+				use(*p);
+		}
+	}
+}`, core.ModePATA)
+	for _, pb := range cands {
+		if v.Validate(pb, core.ModePATA).Feasible {
+			t.Error("contradictory bitwise guards kept (congruence should refute)")
+		}
+	}
+}

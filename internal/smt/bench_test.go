@@ -1,0 +1,36 @@
+package smt
+
+import "testing"
+
+// BenchmarkConjunction measures a typical alias-aware path conjunction
+// (equalities, bounds, one disequality).
+func BenchmarkConjunction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := NewContext()
+		s := NewSolver(ctx)
+		vars := make([]*Var, 8)
+		for j := range vars {
+			vars[j] = ctx.Var("v")
+		}
+		fs := []Formula{Ge(vars[0], Int(0))}
+		for j := 1; j < len(vars); j++ {
+			fs = append(fs, Eq(vars[j], Add(vars[j-1], Int(1))))
+		}
+		fs = append(fs, Le(vars[len(vars)-1], Int(100)), Ne(vars[3], Int(-5)))
+		if s.Solve(And(fs...)) != Sat {
+			b.Fatal("unexpected verdict")
+		}
+	}
+}
+
+// BenchmarkUnsatRefutation measures proving a Figure 9-style contradiction.
+func BenchmarkUnsatRefutation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := NewContext()
+		s := NewSolver(ctx)
+		x := ctx.Var("x")
+		if s.Solve(And(Eq(x, Int(0)), Ne(x, Int(0)))) != Unsat {
+			b.Fatal("should refute")
+		}
+	}
+}

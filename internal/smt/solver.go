@@ -1,0 +1,531 @@
+package smt
+
+// Result of a satisfiability query.
+type Result int
+
+// Query results. Unsat is sound; Sat may over-approximate.
+const (
+	Unsat Result = iota
+	Sat
+	Unknown
+)
+
+func (r Result) String() string {
+	switch r {
+	case Unsat:
+		return "unsat"
+	case Sat:
+		return "sat"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats accumulates solver work counters.
+type Stats struct {
+	Queries      int
+	Conjunctions int
+	Atoms        int
+	Splits       int
+}
+
+// Solver decides formulas built from the constructors in this package.
+type Solver struct {
+	ctx *Context
+	// MaxCubes bounds DNF expansion; beyond it the solver answers Unknown
+	// rather than exploding.
+	MaxCubes int
+	// MaxIters bounds interval-propagation rounds per conjunction.
+	MaxIters int
+	Stats    Stats
+}
+
+// NewSolver returns a solver bound to ctx.
+func NewSolver(ctx *Context) *Solver {
+	return &Solver{ctx: ctx, MaxCubes: 64, MaxIters: 50}
+}
+
+// Solve decides f.
+func (s *Solver) Solve(f Formula) Result {
+	r, _ := s.SolveWithModel(f)
+	return r
+}
+
+// Model is a witness assignment for a Sat verdict: variable ID → value.
+// Values are derived from the final intervals (a candidate, not a verified
+// model — the solver is sound for Unsat, approximate for Sat), which is
+// exactly what a bug report needs: plausible concrete trigger values.
+type Model map[int]int64
+
+// SolveWithModel decides f and, when satisfiable, returns candidate witness
+// values for the variables of the first satisfiable cube.
+func (s *Solver) SolveWithModel(f Formula) (Result, Model) {
+	s.Stats.Queries++
+	cubes, overflow := s.dnf(nnf(f, false), s.MaxCubes)
+	sawUnknown := overflow
+	for _, cube := range cubes {
+		s.Stats.Conjunctions++
+		res, model := s.solveConjModel(cube)
+		switch res {
+		case Sat:
+			return Sat, model
+		case Unknown:
+			sawUnknown = true
+		}
+	}
+	if sawUnknown {
+		return Unknown, nil
+	}
+	return Unsat, nil
+}
+
+// nnf pushes negations down to atoms.
+func nnf(f Formula, neg bool) Formula {
+	switch ff := f.(type) {
+	case *BoolLit:
+		return &BoolLit{Val: ff.Val != neg}
+	case *Atom:
+		if !neg {
+			return ff
+		}
+		return &Atom{Pred: negatePred(ff.Pred), X: ff.X, Y: ff.Y}
+	case *NotF:
+		return nnf(ff.F, !neg)
+	case *AndF:
+		out := make([]Formula, len(ff.Fs))
+		for i, g := range ff.Fs {
+			out[i] = nnf(g, neg)
+		}
+		if neg {
+			return &OrF{Fs: out}
+		}
+		return &AndF{Fs: out}
+	case *OrF:
+		out := make([]Formula, len(ff.Fs))
+		for i, g := range ff.Fs {
+			out[i] = nnf(g, neg)
+		}
+		if neg {
+			return &AndF{Fs: out}
+		}
+		return &OrF{Fs: out}
+	}
+	return f
+}
+
+// dnf expands an NNF formula into cubes (conjunctions of atoms), capped at
+// max cubes. The second result reports whether the cap truncated expansion.
+func (s *Solver) dnf(f Formula, max int) ([][]*Atom, bool) {
+	switch ff := f.(type) {
+	case *BoolLit:
+		if ff.Val {
+			return [][]*Atom{{}}, false
+		}
+		return nil, false
+	case *Atom:
+		return [][]*Atom{{ff}}, false
+	case *AndF:
+		cubes := [][]*Atom{{}}
+		overflow := false
+		for _, g := range ff.Fs {
+			sub, of := s.dnf(g, max)
+			overflow = overflow || of
+			var next [][]*Atom
+			for _, c := range cubes {
+				for _, d := range sub {
+					merged := make([]*Atom, 0, len(c)+len(d))
+					merged = append(merged, c...)
+					merged = append(merged, d...)
+					next = append(next, merged)
+					if len(next) > max {
+						s.Stats.Splits++
+						return next[:max], true
+					}
+				}
+			}
+			cubes = next
+			if len(cubes) == 0 {
+				return nil, overflow // one conjunct is false
+			}
+		}
+		return cubes, overflow
+	case *OrF:
+		var cubes [][]*Atom
+		overflow := false
+		for _, g := range ff.Fs {
+			sub, of := s.dnf(g, max-len(cubes))
+			overflow = overflow || of
+			cubes = append(cubes, sub...)
+			if len(cubes) >= max {
+				s.Stats.Splits++
+				return cubes[:max], true
+			}
+		}
+		return cubes, overflow
+	}
+	return [][]*Atom{{}}, false
+}
+
+// ---- conjunction solving ----
+
+type conjSolver struct {
+	ctx    *Context
+	parent map[int]int
+	offset map[int]int64 // var = parent + offset
+	ivs    map[int]interval
+	ineqs  []*lin // each lin <= 0
+	diseqs []*lin // each lin != 0
+	unsat  bool
+}
+
+// find returns (root, offsetToRoot) with path compression.
+func (c *conjSolver) find(x int) (int, int64) {
+	p, ok := c.parent[x]
+	if !ok || p == x {
+		return x, 0
+	}
+	r, o := c.find(p)
+	c.parent[x] = r
+	c.offset[x] = c.offset[x] + o
+	return r, c.offset[x]
+}
+
+// union records x = y + d.
+func (c *conjSolver) union(x, y int, d int64) {
+	rx, ox := c.find(x) // x = rx + ox
+	ry, oy := c.find(y) // y = ry + oy
+	if rx == ry {
+		// x = y + d  =>  rx + ox = ry + oy + d  =>  ox == oy + d
+		if ox != oy+d {
+			c.unsat = true
+		}
+		return
+	}
+	// Attach rx under ry: rx = ry + (oy + d - ox).
+	c.parent[rx] = ry
+	c.offset[rx] = oy + d - ox
+	// Merge intervals of rx into ry, shifted.
+	if iv, ok := c.ivs[rx]; ok {
+		shifted := interval{lo: satAdd(iv.lo, c.offset[rx]*-1), hi: satAdd(iv.hi, c.offset[rx]*-1)}
+		// rx = ry + off  =>  ry = rx - off, so ry's interval is rx's shifted by -off.
+		c.intersect(ry, shifted)
+		delete(c.ivs, rx)
+	}
+}
+
+func (c *conjSolver) iv(x int) interval {
+	if iv, ok := c.ivs[x]; ok {
+		return iv
+	}
+	return fullInterval()
+}
+
+func (c *conjSolver) intersect(x int, nv interval) bool {
+	cur := c.iv(x)
+	changed := false
+	if nv.lo > cur.lo {
+		cur.lo = nv.lo
+		changed = true
+	}
+	if nv.hi < cur.hi {
+		cur.hi = nv.hi
+		changed = true
+	}
+	c.ivs[x] = cur
+	if cur.empty() {
+		c.unsat = true
+	}
+	return changed
+}
+
+// canon rewrites l in terms of representatives.
+func (c *conjSolver) canon(l *lin) *lin {
+	out := newLin()
+	out.k = l.k
+	for id, coef := range l.coef {
+		r, o := c.find(id)
+		out.addVar(int64(r), coef)
+		out.k += coef * o
+	}
+	return out
+}
+
+func (s *Solver) solveConj(atoms []*Atom) Result {
+	r, _ := s.solveConjModel(atoms)
+	return r
+}
+
+func (s *Solver) solveConjModel(atoms []*Atom) (Result, Model) {
+	c := &conjSolver{
+		ctx:    s.ctx,
+		parent: make(map[int]int),
+		offset: make(map[int]int64),
+		ivs:    make(map[int]interval),
+	}
+	s.Stats.Atoms += len(atoms)
+
+	// Phase 1: classify atoms.
+	var eqs []*lin
+	for _, a := range atoms {
+		x := c.linearize(a.X)
+		y := c.linearize(a.Y)
+		d := newLin()
+		d.add(x, 1)
+		d.add(y, -1) // d = X - Y
+		switch a.Pred {
+		case "==":
+			eqs = append(eqs, d)
+		case "!=":
+			c.diseqs = append(c.diseqs, d)
+		case "<": // X - Y < 0  =>  X - Y + 1 <= 0
+			d.k++
+			c.ineqs = append(c.ineqs, d)
+		case "<=":
+			c.ineqs = append(c.ineqs, d)
+		case ">": // X - Y > 0  =>  Y - X + 1 <= 0
+			n := newLin()
+			n.add(d, -1)
+			n.k++
+			c.ineqs = append(c.ineqs, n)
+		case ">=":
+			n := newLin()
+			n.add(d, -1)
+			c.ineqs = append(c.ineqs, n)
+		}
+	}
+
+	// Phase 2: absorb equalities into the offset union-find where possible;
+	// the rest become inequality pairs. Two passes let substitutions expose
+	// new union opportunities.
+	for pass := 0; pass < 2 && !c.unsat; pass++ {
+		var rest []*lin
+		for _, e := range eqs {
+			e = c.canon(e)
+			ids := e.vars()
+			switch {
+			case len(ids) == 0:
+				if e.k != 0 {
+					c.unsat = true
+				}
+			case len(ids) == 1 && abs64(e.coef[ids[0]]) == 1:
+				// c*x + k == 0 => x = -k/c
+				v := -e.k / e.coef[ids[0]]
+				c.intersect(ids[0], interval{lo: v, hi: v})
+			case len(ids) == 2 && e.coef[ids[0]]*e.coef[ids[1]] == -1:
+				// x - y + k == 0 (up to sign) => x = y - k/cx
+				x, y := ids[0], ids[1]
+				if e.coef[x] == 1 {
+					c.union(x, y, -e.k)
+				} else { // coef[x] == -1, coef[y] == 1
+					c.union(y, x, -e.k)
+				}
+			default:
+				rest = append(rest, e)
+			}
+		}
+		eqs = rest
+	}
+	for _, e := range eqs {
+		n := newLin()
+		n.add(e, -1)
+		c.ineqs = append(c.ineqs, e, n)
+	}
+	if c.unsat {
+		return Unsat, nil
+	}
+
+	// Phase 2b: difference constraints x - y <= k form a constraint graph;
+	// a negative cycle refutes the conjunction even when no variable has an
+	// absolute bound (Bellman-Ford over representatives).
+	if !c.differenceConsistent() {
+		return Unsat, nil
+	}
+
+	// Phase 3: interval propagation to fixpoint.
+	for iter := 0; iter < s.MaxIters && !c.unsat; iter++ {
+		changed := false
+		for _, raw := range c.ineqs {
+			l := c.canon(raw)
+			ids := l.vars()
+			if len(ids) == 0 {
+				if l.k > 0 {
+					c.unsat = true
+				}
+				continue
+			}
+			// sum ci*xi + k <= 0. For each xi:
+			// ci*xi <= -k - sum_{j != i} min(cj*xj)
+			for _, xi := range ids {
+				rest := int64(-l.k)
+				for _, xj := range ids {
+					if xj == xi {
+						continue
+					}
+					r := mulRange(l.coef[xj], c.iv(xj))
+					rest = satAdd(rest, -r.lo)
+				}
+				ci := l.coef[xi]
+				cur := c.iv(xi)
+				var nv interval = fullInterval()
+				if ci > 0 {
+					nv.hi = floorDiv(rest, ci)
+				} else {
+					nv.lo = ceilDiv(rest, ci)
+				}
+				if c.intersect(xi, nv) {
+					changed = true
+				}
+				_ = cur
+			}
+		}
+		if c.unsat || !changed {
+			break
+		}
+	}
+	if c.unsat {
+		return Unsat, nil
+	}
+
+	// Phase 4: disequalities.
+	for _, raw := range c.diseqs {
+		l := c.canon(raw)
+		ids := l.vars()
+		val := l.k
+		fixed := true
+		for _, id := range ids {
+			if v, ok := c.iv(id).singleton(); ok {
+				val += l.coef[id] * v
+			} else {
+				fixed = false
+				break
+			}
+		}
+		if fixed && val == 0 {
+			return Unsat, nil
+		}
+	}
+	// Derive witness values from the final state: representatives take a
+	// value inside their interval (preferring 0, then the nearest bound);
+	// other variables follow via their offsets.
+	model := make(Model)
+	pickVal := func(iv interval) int64 {
+		switch {
+		case iv.lo <= 0 && iv.hi >= 0:
+			return 0
+		case iv.lo > 0:
+			return iv.lo
+		default:
+			return iv.hi
+		}
+	}
+	for id := range c.ivs {
+		model[id] = pickVal(c.iv(id))
+	}
+	for id := range c.parent {
+		r, off := c.find(id)
+		rv, ok := model[r]
+		if !ok {
+			rv = pickVal(c.iv(r))
+			model[r] = rv
+		}
+		model[id] = rv + off
+	}
+	return Sat, model
+}
+
+// differenceConsistent checks the difference-bound fragment: every
+// inequality of the form x - y + k <= 0 (unit coefficients, two variables)
+// becomes an edge y →(−k)… in the constraint graph; the system is
+// inconsistent iff the graph has a negative cycle.
+func (c *conjSolver) differenceConsistent() bool {
+	type edge struct {
+		from, to int
+		w        int64
+	}
+	var edges []edge
+	nodes := map[int]bool{}
+	for _, raw := range c.ineqs {
+		l := c.canon(raw)
+		ids := l.vars()
+		if len(ids) != 2 {
+			continue
+		}
+		x, y := ids[0], ids[1]
+		if l.coef[x] == 1 && l.coef[y] == -1 {
+			// x - y <= -k  ⇒  edge y → x with weight -k.
+			edges = append(edges, edge{from: y, to: x, w: -l.k})
+		} else if l.coef[x] == -1 && l.coef[y] == 1 {
+			// y - x <= -k  ⇒  edge x → y with weight -k.
+			edges = append(edges, edge{from: x, to: y, w: -l.k})
+		} else {
+			continue
+		}
+		nodes[x] = true
+		nodes[y] = true
+	}
+	if len(edges) == 0 {
+		return true
+	}
+	// Bellman-Ford from a virtual source connected to every node with
+	// weight 0; a relaxation on pass |V| reveals a negative cycle.
+	dist := make(map[int]int64, len(nodes))
+	for n := range nodes {
+		dist[n] = 0
+	}
+	for i := 0; i <= len(nodes); i++ {
+		changed := false
+		for _, e := range edges {
+			if d := dist[e.from] + e.w; d < dist[e.to] {
+				dist[e.to] = d
+				changed = true
+				if i == len(nodes) {
+					return false
+				}
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	return true
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// floorDiv returns floor(a/b) for b > 0.
+func floorDiv(a, b int64) int64 {
+	if a == posInf || a == negInf {
+		return a
+	}
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// ceilDiv returns ceil(a/b) for b < 0 usage in bound derivation.
+func ceilDiv(a, b int64) int64 {
+	if a == posInf {
+		if b < 0 {
+			return negInf
+		}
+		return posInf
+	}
+	if a == negInf {
+		if b < 0 {
+			return posInf
+		}
+		return negInf
+	}
+	q := a / b
+	if a%b != 0 && (a < 0) == (b < 0) {
+		q++
+	}
+	return q
+}

@@ -1,0 +1,205 @@
+// Package smt is a small SMT solver for the constraint fragment PATA's
+// path validation emits (Table 3 of the paper): per-path conjunctions of
+// linear integer (in)equalities over alias-class symbols, with occasional
+// disjunctions from lowered boolean operators.
+//
+// The decision procedure combines offset union-find over equalities,
+// interval (bound) propagation over linear atoms, and disequality checking,
+// with bounded DNF splitting for disjunctions. UNSAT answers are sound;
+// SAT answers may be over-approximate (the paper accepts the same
+// incompleteness for Z3 on complex arithmetic, §5.2) — a "SAT" path keeps
+// its bug report, which is the conservative direction for a bug finder.
+package smt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Term is an integer-sorted SMT term.
+type Term interface {
+	String() string
+	key() string // structural key for congruence-lite memoization
+}
+
+// Var is an integer symbol. Create through Context.Var so IDs are unique.
+type Var struct {
+	ID   int
+	Name string
+}
+
+func (v *Var) String() string { return fmt.Sprintf("%s#%d", v.Name, v.ID) }
+func (v *Var) key() string    { return fmt.Sprintf("v%d", v.ID) }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val int64
+}
+
+func (l *IntLit) String() string { return fmt.Sprintf("%d", l.Val) }
+func (l *IntLit) key() string    { return fmt.Sprintf("c%d", l.Val) }
+
+// BinTerm is a binary arithmetic term.
+type BinTerm struct {
+	Op   string // "+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"
+	X, Y Term
+}
+
+func (b *BinTerm) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.X, b.Op, b.Y)
+}
+func (b *BinTerm) key() string {
+	return "(" + b.X.key() + b.Op + b.Y.key() + ")"
+}
+
+// Context creates variables and interns opaque terms.
+type Context struct {
+	nextID int
+	opaque map[string]*Var
+}
+
+// NewContext returns a fresh term context.
+func NewContext() *Context {
+	return &Context{opaque: make(map[string]*Var)}
+}
+
+// Var creates a fresh integer symbol.
+func (c *Context) Var(name string) *Var {
+	c.nextID++
+	return &Var{ID: c.nextID, Name: name}
+}
+
+// OpaqueFor returns a stable fresh variable standing for a non-linear or
+// uninterpreted term, interned by structural key so syntactically identical
+// terms share one symbol (congruence-lite).
+func (c *Context) OpaqueFor(t Term) *Var {
+	k := t.key()
+	if v, ok := c.opaque[k]; ok {
+		return v
+	}
+	v := c.Var("op")
+	c.opaque[k] = v
+	return v
+}
+
+// Int returns an integer literal term.
+func Int(v int64) Term { return &IntLit{Val: v} }
+
+// Add returns x + y.
+func Add(x, y Term) Term { return &BinTerm{Op: "+", X: x, Y: y} }
+
+// Sub returns x - y.
+func Sub(x, y Term) Term { return &BinTerm{Op: "-", X: x, Y: y} }
+
+// Mul returns x * y.
+func Mul(x, y Term) Term { return &BinTerm{Op: "*", X: x, Y: y} }
+
+// Div returns x / y (uninterpreted unless y is a constant divisor of a
+// constant dividend).
+func Div(x, y Term) Term { return &BinTerm{Op: "/", X: x, Y: y} }
+
+// Rem returns x % y.
+func Rem(x, y Term) Term { return &BinTerm{Op: "%", X: x, Y: y} }
+
+// Bin returns the binary term x op y for any operator.
+func Bin(op string, x, y Term) Term { return &BinTerm{Op: op, X: x, Y: y} }
+
+// Formula is a boolean combination of atoms.
+type Formula interface {
+	String() string
+}
+
+// Atom is X pred Y over integer terms.
+type Atom struct {
+	Pred string // "==", "!=", "<", "<=", ">", ">="
+	X, Y Term
+}
+
+func (a *Atom) String() string { return fmt.Sprintf("%s %s %s", a.X, a.Pred, a.Y) }
+
+// AndF is a conjunction.
+type AndF struct{ Fs []Formula }
+
+func (f *AndF) String() string { return joinF("and", f.Fs) }
+
+// OrF is a disjunction.
+type OrF struct{ Fs []Formula }
+
+func (f *OrF) String() string { return joinF("or", f.Fs) }
+
+// NotF is a negation.
+type NotF struct{ F Formula }
+
+func (f *NotF) String() string { return "(not " + f.F.String() + ")" }
+
+// BoolLit is a constant formula.
+type BoolLit struct{ Val bool }
+
+func (f *BoolLit) String() string {
+	if f.Val {
+		return "true"
+	}
+	return "false"
+}
+
+func joinF(op string, fs []Formula) string {
+	var b strings.Builder
+	b.WriteString("(" + op)
+	for _, f := range fs {
+		b.WriteString(" ")
+		b.WriteString(f.String())
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// True and False are the constant formulas.
+var (
+	True  Formula = &BoolLit{Val: true}
+	False Formula = &BoolLit{Val: false}
+)
+
+// Eq returns x == y.
+func Eq(x, y Term) Formula { return &Atom{Pred: "==", X: x, Y: y} }
+
+// Ne returns x != y.
+func Ne(x, y Term) Formula { return &Atom{Pred: "!=", X: x, Y: y} }
+
+// Lt returns x < y.
+func Lt(x, y Term) Formula { return &Atom{Pred: "<", X: x, Y: y} }
+
+// Le returns x <= y.
+func Le(x, y Term) Formula { return &Atom{Pred: "<=", X: x, Y: y} }
+
+// Gt returns x > y.
+func Gt(x, y Term) Formula { return &Atom{Pred: ">", X: x, Y: y} }
+
+// Ge returns x >= y.
+func Ge(x, y Term) Formula { return &Atom{Pred: ">=", X: x, Y: y} }
+
+// And returns the conjunction of fs.
+func And(fs ...Formula) Formula { return &AndF{Fs: fs} }
+
+// Or returns the disjunction of fs.
+func Or(fs ...Formula) Formula { return &OrF{Fs: fs} }
+
+// Not returns the negation of f.
+func Not(f Formula) Formula { return &NotF{F: f} }
+
+func negatePred(p string) string {
+	switch p {
+	case "==":
+		return "!="
+	case "!=":
+		return "=="
+	case "<":
+		return ">="
+	case "<=":
+		return ">"
+	case ">":
+		return "<="
+	case ">=":
+		return "<"
+	}
+	return p
+}

@@ -1,0 +1,385 @@
+// Package typestate implements the paper's alias-aware typestate-tracking
+// method (§3.2). A typestate property is a finite state machine (Definition
+// 2); the tracker maintains ONE state per alias class — all variables in the
+// same alias set share the state (Definition 3) — which is the mechanism
+// that halves the paper's typestate count versus per-variable tracking
+// (Table 5) and removes the synchronization transitions of Figure 8(a).
+//
+// Checkers translate instructions and branch directions into events on
+// abstract objects (alias-graph nodes). Six checkers ship with the package:
+// NPD, UVA and ML (Table 2) plus the §5.5 extension checkers for double
+// lock/unlock, array-index underflow and division by zero. Each checker is
+// deliberately small (~100–200 lines), as the paper reports.
+package typestate
+
+import (
+	"fmt"
+
+	"repro/internal/aliasgraph"
+	"repro/internal/cir"
+)
+
+// BugType names a class of bugs.
+type BugType string
+
+// Bug types detected by the built-in checkers.
+const (
+	NPD BugType = "NPD" // null-pointer dereference
+	UVA BugType = "UVA" // uninitialized-variable access
+	ML  BugType = "ML"  // memory leak
+	DL  BugType = "DL"  // double lock/unlock
+	AIU BugType = "AIU" // array index underflow
+	DBZ BugType = "DBZ" // division by zero
+)
+
+// State is an FSM state.
+type State string
+
+// Event is an FSM input symbol.
+type Event string
+
+// FSM is the finite state machine of Definition 2.
+type FSM struct {
+	Name        string
+	Initial     State
+	Bug         State
+	Transitions map[State]map[Event]State
+}
+
+// Next returns the successor state for (s, e); ok is false when no
+// transition is defined (the state is unchanged).
+func (f *FSM) Next(s State, e Event) (State, bool) {
+	if m, ok := f.Transitions[s]; ok {
+		if n, ok := m[e]; ok {
+			return n, true
+		}
+	}
+	return s, false
+}
+
+// ExtraConstraint lets a checker attach a bug condition beyond path
+// feasibility (e.g. "index value < 0" for AIU); the path validator conjoins
+// it with the path constraints.
+type ExtraConstraint struct {
+	Val   cir.Value
+	Pred  cir.Pred // bug fires when Val Pred Bound is satisfiable
+	Bound int64
+}
+
+// Emission is one event applied to one abstract object.
+type Emission struct {
+	Obj   *aliasgraph.Node
+	Event Event
+	// Instr is the instruction the event stems from (the bug point when
+	// the transition reaches the FSM's bug state).
+	Instr cir.Instr
+	// Extra optionally strengthens the path-validation query.
+	Extra *ExtraConstraint
+}
+
+// Intrinsic classifies external/library callees the checkers care about.
+type Intrinsic int
+
+// Intrinsic kinds.
+const (
+	IntrNone Intrinsic = iota
+	IntrAlloc
+	IntrZeroAlloc
+	IntrFree
+	IntrLock
+	IntrUnlock
+	IntrMemInit // memset-like: initializes the region behind arg 0
+)
+
+// Intrinsics maps callee names to their classification. The defaults cover
+// the allocator/lock spellings of the four OSes the paper evaluates.
+type Intrinsics struct {
+	byName map[string]Intrinsic
+}
+
+// NewIntrinsics returns an empty table.
+func NewIntrinsics() *Intrinsics {
+	return &Intrinsics{byName: make(map[string]Intrinsic)}
+}
+
+// Add registers names under kind.
+func (t *Intrinsics) Add(kind Intrinsic, names ...string) *Intrinsics {
+	for _, n := range names {
+		t.byName[n] = kind
+	}
+	return t
+}
+
+// Classify returns the intrinsic kind of callee.
+func (t *Intrinsics) Classify(callee string) Intrinsic { return t.byName[callee] }
+
+// DefaultIntrinsics returns the allocator/lock table for Linux-style and
+// IoT-OS-style code (kmalloc, k_malloc, tos_mmheap_alloc, ...).
+func DefaultIntrinsics() *Intrinsics {
+	t := NewIntrinsics()
+	t.Add(IntrAlloc, "malloc", "kmalloc", "kzalloc_nocheck", "vmalloc",
+		"k_malloc", "tos_mmheap_alloc", "pvPortMalloc", "devm_kmalloc")
+	t.Add(IntrZeroAlloc, "calloc", "kzalloc", "k_calloc", "tos_mmheap_calloc")
+	t.Add(IntrFree, "free", "kfree", "vfree", "k_free", "tos_mmheap_free",
+		"vPortFree", "devm_kfree")
+	t.Add(IntrLock, "spin_lock", "mutex_lock", "k_mutex_lock", "tos_mutex_pend",
+		"spin_lock_irqsave", "raw_spin_lock")
+	t.Add(IntrUnlock, "spin_unlock", "mutex_unlock", "k_mutex_unlock",
+		"tos_mutex_post", "spin_unlock_irqrestore", "raw_spin_unlock")
+	t.Add(IntrMemInit, "memset", "bzero", "memcpy")
+	return t
+}
+
+// Ctx is the engine context handed to checkers.
+type Ctx interface {
+	// Graph is the current alias graph (already updated for the
+	// instruction being inspected, per Figure 6 lines 30–31).
+	Graph() *aliasgraph.Graph
+	// Tracker gives access to object states and properties.
+	Tracker() *Tracker
+	// IsStackAddr reports whether v is an address rooted at an alloca
+	// (dereferencing it cannot be a null-pointer dereference).
+	IsStackAddr(v cir.Value) bool
+	// Intrinsics classifies callees.
+	Intrinsics() *Intrinsics
+	// Depth is the current call depth (0 in the entry function).
+	Depth() int
+	// FrameID identifies the current function activation on this path.
+	FrameID() int
+	// CallerFrameID identifies the activation that will resume when the
+	// current one returns (meaningful when Depth() > 0).
+	CallerFrameID() int
+	// IsDefined reports whether callee has a body in the module (calls to
+	// undefined functions are treated as opaque by escape analysis).
+	IsDefined(callee string) bool
+}
+
+// Checker is a typestate property plus its event extraction.
+type Checker interface {
+	Name() string
+	Type() BugType
+	FSM() *FSM
+	// OnInstr inspects an instruction (after the alias-graph update).
+	OnInstr(in cir.Instr, ctx Ctx) []Emission
+	// OnBranch inspects a conditional branch taken in the given direction.
+	OnBranch(br *cir.CondBr, taken bool, ctx Ctx) []Emission
+	// OnReturn inspects a return at the current depth (used by ML to fire
+	// its ret event on unfreed objects of the returning frame).
+	OnReturn(ret *cir.Ret, ctx Ctx) []Emission
+	// OnBind inspects the binding of an actual argument to a formal
+	// parameter when the engine descends into a defined callee (the
+	// HandleCALL MOVEs of Figure 6). The alias graph has already recorded
+	// the MOVE.
+	OnBind(param *cir.Register, arg cir.Value, site *cir.Call, ctx Ctx) []Emission
+}
+
+// baseChecker provides no-op hooks.
+type baseChecker struct{}
+
+func (baseChecker) OnInstr(cir.Instr, Ctx) []Emission          { return nil }
+func (baseChecker) OnBranch(*cir.CondBr, bool, Ctx) []Emission { return nil }
+func (baseChecker) OnReturn(*cir.Ret, Ctx) []Emission          { return nil }
+func (baseChecker) OnBind(*cir.Register, cir.Value, *cir.Call, Ctx) []Emission {
+	return nil
+}
+
+// ---- tracker ----
+
+type objKey struct {
+	checker int
+	node    *aliasgraph.Node
+}
+
+type propKey struct {
+	checker int
+	node    *aliasgraph.Node
+	prop    string
+}
+
+type tundoKind uint8
+
+const (
+	tuState tundoKind = iota
+	tuProp
+	tuTouched
+)
+
+type tundo struct {
+	kind     tundoKind
+	sk       objKey
+	pk       propKey
+	oldState State
+	hadState bool
+	oldProp  int64
+	hadProp  bool
+	checker  int
+}
+
+// BugSink receives bug-state transitions as they happen during tracking.
+type BugSink func(checkerIdx int, em Emission, from State)
+
+// Stats are the typestate cost counters of Table 5.
+type Stats struct {
+	// Transitions counts alias-aware state transitions (one per alias set).
+	Transitions int64
+	// TransitionsUnaware counts what per-variable tracking would cost: one
+	// transition per variable in the alias set, plus the synchronization
+	// updates merged away by alias awareness (Figure 8).
+	TransitionsUnaware int64
+}
+
+// Tracker holds the per-alias-class states of all checkers, with trail-based
+// checkpoint/rollback mirroring the alias graph's.
+type Tracker struct {
+	Checkers []Checker
+	states   map[objKey]State
+	props    map[propKey]int64
+	touched  map[int][]*aliasgraph.Node // per checker, insertion-ordered
+	trail    []tundo
+	Stats    Stats
+	Sink     BugSink
+}
+
+// NewTracker returns a tracker over the given checkers.
+func NewTracker(checkers []Checker, sink BugSink) *Tracker {
+	return &Tracker{
+		Checkers: checkers,
+		states:   make(map[objKey]State),
+		props:    make(map[propKey]int64),
+		touched:  make(map[int][]*aliasgraph.Node),
+		Sink:     sink,
+	}
+}
+
+// Mark is a trail checkpoint.
+type Mark int
+
+// Checkpoint returns a rollback mark.
+func (t *Tracker) Checkpoint() Mark { return Mark(len(t.trail)) }
+
+// Rollback undoes all tracking state changes after mark.
+func (t *Tracker) Rollback(mark Mark) {
+	for len(t.trail) > int(mark) {
+		u := t.trail[len(t.trail)-1]
+		t.trail = t.trail[:len(t.trail)-1]
+		switch u.kind {
+		case tuState:
+			if u.hadState {
+				t.states[u.sk] = u.oldState
+			} else {
+				delete(t.states, u.sk)
+			}
+		case tuProp:
+			if u.hadProp {
+				t.props[u.pk] = u.oldProp
+			} else {
+				delete(t.props, u.pk)
+			}
+		case tuTouched:
+			lst := t.touched[u.checker]
+			t.touched[u.checker] = lst[:len(lst)-1]
+		}
+	}
+}
+
+// StateOf returns the current state of obj under checker ci.
+func (t *Tracker) StateOf(ci int, obj *aliasgraph.Node) State {
+	if s, ok := t.states[objKey{checker: ci, node: obj}]; ok {
+		return s
+	}
+	return t.Checkers[ci].FSM().Initial
+}
+
+func (t *Tracker) setState(ci int, obj *aliasgraph.Node, s State) {
+	k := objKey{checker: ci, node: obj}
+	old, had := t.states[k]
+	t.trail = append(t.trail, tundo{kind: tuState, sk: k, oldState: old, hadState: had})
+	t.states[k] = s
+	if !had {
+		t.touched[ci] = append(t.touched[ci], obj)
+		t.trail = append(t.trail, tundo{kind: tuTouched, checker: ci})
+	}
+}
+
+// PropOf reads a named integer property of obj (0 when unset).
+func (t *Tracker) PropOf(ci int, obj *aliasgraph.Node, prop string) int64 {
+	return t.props[propKey{checker: ci, node: obj, prop: prop}]
+}
+
+// SetProp writes a named integer property of obj.
+func (t *Tracker) SetProp(ci int, obj *aliasgraph.Node, prop string, v int64) {
+	k := propKey{checker: ci, node: obj, prop: prop}
+	old, had := t.props[k]
+	t.trail = append(t.trail, tundo{kind: tuProp, pk: k, oldProp: old, hadProp: had})
+	t.props[k] = v
+}
+
+// ObjectsInState returns the touched objects of checker ci currently in
+// state s.
+func (t *Tracker) ObjectsInState(ci int, s State) []*aliasgraph.Node {
+	var out []*aliasgraph.Node
+	seen := make(map[*aliasgraph.Node]bool)
+	for _, n := range t.touched[ci] {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if t.StateOf(ci, n) == s {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Apply feeds one emission through checker ci's FSM, counting costs and
+// reporting bug-state entries through the sink.
+func (t *Tracker) Apply(ci int, em Emission) {
+	fsm := t.Checkers[ci].FSM()
+	cur := t.StateOf(ci, em.Obj)
+	next, moved := fsm.Next(cur, em.Event)
+	if !moved {
+		return
+	}
+	t.Stats.Transitions++
+	// Alias-unaware cost: one update per variable in the class plus one
+	// synchronization per extra variable (Figure 8a).
+	nvars := int64(em.Obj.NumVars())
+	if nvars == 0 {
+		nvars = 1
+	}
+	t.Stats.TransitionsUnaware += 2*nvars - 1
+	if next != cur {
+		t.setState(ci, em.Obj, next)
+		if next != fsm.Bug && em.Instr != nil {
+			// Remember the instruction that put the object into this state:
+			// it is the "origin" half of the paper's repeated-bug key (P3).
+			t.SetProp(ci, em.Obj, "__origin", int64(em.Instr.GID()))
+		}
+	}
+	if next == fsm.Bug && t.Sink != nil {
+		t.Sink(ci, em, cur)
+	}
+}
+
+// ApplyAll feeds emissions from all checkers for one instruction.
+func (t *Tracker) ApplyAll(emsByChecker [][]Emission) {
+	for ci, ems := range emsByChecker {
+		for _, em := range ems {
+			t.Apply(ci, em)
+		}
+	}
+}
+
+// CheckerIndex returns the index of c, or -1.
+func (t *Tracker) CheckerIndex(c Checker) int {
+	for i, cc := range t.Checkers {
+		if cc == c {
+			return i
+		}
+	}
+	return -1
+}
+
+func (t *Tracker) String() string {
+	return fmt.Sprintf("tracker{%d checkers, %d states}", len(t.Checkers), len(t.states))
+}
