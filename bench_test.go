@@ -10,6 +10,7 @@ package pata_test
 // cost of regenerating each one.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -316,6 +317,68 @@ func BenchmarkParallelWorkers(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkRunParallelPipeline measures the pipelined two-stage scheduler on
+// the 4x linux-like corpus across the Stage-1 workers × Stage-2 validation
+// workers grid. With w>1 the work-stealing scheduler spreads entry functions
+// over the workers; with v>1 candidate bugs stream into the validator pool
+// while exploration is still running, overlapping SMT solving with Stage 1.
+// Output is byte-identical to the sequential engine at every grid point
+// (TestRunParallelByteIdentical); only wall-clock moves.
+func BenchmarkRunParallelPipeline(b *testing.B) {
+	c := oscorpus.Generate(oscorpus.Scaled(oscorpus.LinuxSpec(), 4))
+	mod, err := minicc.LowerAll(c.Spec.Name, c.Sources)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4} {
+		for _, v := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("w%d-v%d", w, v), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					cfg := core.Config{Checkers: typestate.CoreCheckers(), ValidateWorkers: v}
+					pathval.New().Install(&cfg)
+					core.RunParallel(mod, cfg, w)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkValidatorCache measures the Stage-2 verdict cache: "cold" pays a
+// fresh validator (every constraint system solved), "warm" revalidates the
+// same candidates against an already-populated cache (every solve is a
+// lookup of the memoized verdict and model).
+func BenchmarkValidatorCache(b *testing.B) {
+	c := oscorpus.Generate(oscorpus.LinuxSpec())
+	mod, err := minicc.LowerAll(c.Spec.Name, c.Sources)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := core.NewEngine(mod, core.Config{Checkers: typestate.CoreCheckers()}).Run()
+	if len(res.Possible) == 0 {
+		b.Fatal("no candidates")
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v := pathval.New()
+			for _, pb := range res.Possible {
+				v.Validate(pb, core.ModePATA)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		v := pathval.New()
+		for _, pb := range res.Possible {
+			v.Validate(pb, core.ModePATA)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, pb := range res.Possible {
+				v.Validate(pb, core.ModePATA)
+			}
+		}
+	})
 }
 
 // BenchmarkExtensions regenerates the repo-extension experiment (UAF + API

@@ -15,6 +15,8 @@
 //	-stats                 print engine statistics
 //	-json                  emit machine-readable JSON
 //	-unroll N              loop unroll factor (default 1, the paper's rule)
+//	-workers N             analyze entry functions with N concurrent engines
+//	-validate-workers N    Stage-2 validation workers (0 = GOMAXPROCS)
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"strings"
 
 	pata "repro"
+	"repro/internal/report"
 )
 
 func main() {
@@ -36,15 +39,17 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	unroll := flag.Int("unroll", 1, "loop unroll factor (paper default 1)")
 	workers := flag.Int("workers", 1, "analyze entry functions with N concurrent engines")
+	validateWorkers := flag.Int("validate-workers", 0, "Stage-2 validation workers when -workers > 1 (0 = GOMAXPROCS)")
 	witness := flag.Bool("witness", false, "print each bug's witness path and trigger values")
 	flag.Parse()
 
 	cfg := pata.Config{
-		NoAlias:        *noAlias,
-		SkipValidation: *noValidate,
-		LoopUnroll:     *unroll,
-		Workers:        *workers,
-		WitnessPaths:   *witness,
+		NoAlias:         *noAlias,
+		SkipValidation:  *noValidate,
+		LoopUnroll:      *unroll,
+		Workers:         *workers,
+		ValidateWorkers: *validateWorkers,
+		WitnessPaths:    *witness,
 	}
 	if *checkers != "" {
 		cfg.Checkers = strings.Split(*checkers, ",")
@@ -104,17 +109,8 @@ func main() {
 		}
 	}
 	if *stats {
-		st := res.Stats
-		fmt.Printf("\nstatistics:\n")
-		fmt.Printf("  entry functions:     %d\n", st.EntryFunctions)
-		fmt.Printf("  paths explored:      %d\n", st.PathsExplored)
-		fmt.Printf("  steps executed:      %d\n", st.StepsExecuted)
-		fmt.Printf("  typestates:          %d (unaware: %d)\n", st.Typestates, st.TypestatesUnaware)
-		fmt.Printf("  SMT constraints:     %d (unaware: %d)\n", st.Constraints, st.ConstraintsUnaware)
-		fmt.Printf("  repeated dropped:    %d\n", st.RepeatedDropped)
-		fmt.Printf("  false dropped:       %d\n", st.FalseDropped)
-		fmt.Printf("  analysis time:       %v\n", st.AnalysisTime)
-		fmt.Printf("  validation time:     %v\n", st.ValidationTime)
+		fmt.Println()
+		report.WriteStats(os.Stdout, res.Stats)
 	}
 	if len(res.Bugs) > 0 {
 		os.Exit(3) // bugs found: non-zero for CI use

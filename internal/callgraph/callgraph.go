@@ -7,6 +7,7 @@ package callgraph
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/cir"
 )
@@ -20,6 +21,12 @@ type Graph struct {
 	Callers map[string][]string
 	// NumCallSites counts all direct call instructions.
 	NumCallSites int
+
+	// entries memoizes EntryFunctions: the scan sorts every module function
+	// by name, and RunParallel's per-entry engines ask for the list once per
+	// entry, which made the recomputation quadratic in module size.
+	entriesOnce sync.Once
+	entries     []*cir.Function
 }
 
 // Build constructs the call graph of mod.
@@ -71,16 +78,17 @@ func sortedKeys(m map[string]bool) []string {
 // (Figure 6 line 1): module interface functions reached only through
 // function-pointer registration, plus true roots.
 func (g *Graph) EntryFunctions() []*cir.Function {
-	var out []*cir.Function
-	for _, fn := range g.Mod.SortedFuncs() {
-		if fn.IsDecl() {
-			continue
+	g.entriesOnce.Do(func() {
+		for _, fn := range g.Mod.SortedFuncs() {
+			if fn.IsDecl() {
+				continue
+			}
+			if len(g.Callers[fn.Name]) == 0 {
+				g.entries = append(g.entries, fn)
+			}
 		}
-		if len(g.Callers[fn.Name]) == 0 {
-			out = append(out, fn)
-		}
-	}
-	return out
+	})
+	return append([]*cir.Function(nil), g.entries...)
 }
 
 // IsEntry reports whether the named function has no explicit caller.

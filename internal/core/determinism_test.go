@@ -2,12 +2,14 @@ package core_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/minicc"
 	"repro/internal/oscorpus"
 	"repro/internal/pathval"
+	"repro/internal/report"
 	"repro/internal/typestate"
 )
 
@@ -106,6 +108,80 @@ static void entry_fn(struct model *m) {
 	}
 	if !found {
 		t.Errorf("alias set misses the field chain: %v", b.AliasSet)
+	}
+}
+
+// fullOutput renders every deterministic artifact of a run: the complete
+// rendered bug report (positions, alias sets, triggers, path lengths), the
+// ordered candidate list with its witness-path shapes, and the counters.
+// Wall-clock and steal counts are zeroed — those are the only fields allowed
+// to differ between the sequential engine and the pipelined scheduler.
+func fullOutput(res *core.Result) string {
+	var sb strings.Builder
+	report.WriteBugs(&sb, res.Bugs)
+	for i, pb := range res.Possible {
+		fmt.Fprintf(&sb, "possible[%d] %s origin=%d bug=%d entry=%s path=%d alts=[",
+			i, pb.Type, pb.OriginGID, pb.BugInstr.GID(), pb.EntryFn, len(pb.Path))
+		for j, alt := range pb.AltPaths {
+			if j > 0 {
+				sb.WriteString(" ")
+			}
+			fmt.Fprintf(&sb, "%d", len(alt))
+		}
+		sb.WriteString("]\n")
+	}
+	st := res.Stats
+	st.AnalysisTime, st.ValidationTime, st.WorkSteals = 0, 0, 0
+	fmt.Fprintf(&sb, "stats: %+v\n", st)
+	return sb.String()
+}
+
+// TestRunParallelByteIdentical locks in the pipelined scheduler's contract:
+// for every mode, checker set, and worker/validate-worker split, RunParallel
+// must produce byte-identical output to the sequential Engine.Run — same
+// bugs in the same order, same candidate list, same AltPaths, same triggers,
+// and the same counters including verdict-cache hits and misses.
+func TestRunParallelByteIdentical(t *testing.T) {
+	c := oscorpus.Generate(oscorpus.ZephyrSpec())
+	mod, err := minicc.LowerAll(c.Spec.Name, c.Sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkerSets := []struct {
+		name string
+		mk   func() []typestate.Checker
+	}{
+		{"core", typestate.CoreCheckers},
+		{"all", typestate.AllCheckers},
+	}
+	modes := []struct {
+		name string
+		mode core.Mode
+	}{
+		{"pata", core.ModePATA},
+		{"noalias", core.ModeNoAlias},
+	}
+	grid := []struct{ workers, vworkers int }{
+		{1, 4}, {2, 2}, {4, 1}, {4, 4},
+	}
+	for _, cs := range checkerSets {
+		for _, m := range modes {
+			t.Run(cs.name+"/"+m.name, func(t *testing.T) {
+				mk := func(vworkers int) core.Config {
+					cfg := core.Config{Checkers: cs.mk(), Mode: m.mode, ValidateWorkers: vworkers}
+					pathval.New().Install(&cfg)
+					return cfg
+				}
+				want := fullOutput(core.NewEngine(mod, mk(1)).Run())
+				for _, g := range grid {
+					got := fullOutput(core.RunParallel(mod, mk(g.vworkers), g.workers))
+					if got != want {
+						t.Errorf("workers=%d validate-workers=%d output differs from sequential:\n--- sequential\n%s\n--- pipelined\n%s",
+							g.workers, g.vworkers, want, got)
+					}
+				}
+			})
+		}
 	}
 }
 

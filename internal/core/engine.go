@@ -67,6 +67,12 @@ type Config struct {
 	// false when the path is proven infeasible (the bug is dropped). The
 	// counts it returns feed the Table 5 constraint statistics.
 	ValidatePath func(bug *PossibleBug, mode Mode) ValidationOutcome
+	// ValidateWorkers sets how many concurrent Stage-2 validation workers
+	// RunParallel's pipelined scheduler uses (<= 0 selects GOMAXPROCS).
+	// With more than one worker the ValidatePath hook is called
+	// concurrently and must be safe for concurrent use (pathval's
+	// Validator is). The sequential Engine.Run ignores this field.
+	ValidateWorkers int
 	// Trace, when set, observes every executed instruction with the alias
 	// graph as updated for it (Figure 6 line 30). For debugging and for
 	// tests that assert the paper's worked examples (Figure 7).
@@ -81,6 +87,10 @@ type ValidationOutcome struct {
 	// Trigger holds candidate concrete values ("q = 0") that drive the
 	// feasible witness path, extracted from the solver model.
 	Trigger []string
+	// CacheHits/CacheMisses count verdict-cache lookups this validation
+	// performed (zero when the validator has no cache).
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // withDefaults fills zero fields.
@@ -163,8 +173,17 @@ type Stats struct {
 	FalseDropped       int64
 	Constraints        int64
 	ConstraintsUnaware int64
-	AnalysisTime       time.Duration
-	ValidationTime     time.Duration
+	// ValidationCacheHits/Misses count Stage-2 verdict-cache outcomes:
+	// hits are constraint systems whose sat/unsat verdict (and model) was
+	// reused instead of re-solved.
+	ValidationCacheHits   int64
+	ValidationCacheMisses int64
+	// WorkSteals counts Stage-1 tasks a worker claimed from another
+	// worker's queue (RunParallel's work-stealing scheduler; zero for
+	// sequential runs).
+	WorkSteals     int64
+	AnalysisTime   time.Duration
+	ValidationTime time.Duration
 }
 
 // Result of a full run.
@@ -179,9 +198,6 @@ type Engine struct {
 	Mod *cir.Module
 	CG  *callgraph.Graph
 	Cfg Config
-	// OnlyEntries, when non-nil, restricts the analysis to the named entry
-	// functions (used by RunParallel's sharding).
-	OnlyEntries []string
 
 	g       *aliasgraph.Graph
 	tracker *typestate.Tracker
@@ -217,14 +233,20 @@ type dedupKey struct {
 
 // NewEngine prepares an engine for mod.
 func NewEngine(mod *cir.Module, cfg Config) *Engine {
-	e := &Engine{
+	return newEngineWithCG(mod, cfg, callgraph.Build(mod))
+}
+
+// newEngineWithCG prepares an engine reusing an already-built call graph
+// (the graph is read-only after Build, so RunParallel shares one across its
+// per-entry worker engines).
+func newEngineWithCG(mod *cir.Module, cfg Config, cg *callgraph.Graph) *Engine {
+	return &Engine{
 		Mod:           mod,
-		CG:            callgraph.Build(mod),
+		CG:            cg,
 		Cfg:           cfg.withDefaults(),
 		dedup:         make(map[dedupKey]*PossibleBug),
 		stackAddrMemo: make(map[*cir.Register]bool),
 	}
-	return e
 }
 
 // Run executes Stage 1 (path-sensitive alias + typestate analysis over all
@@ -233,19 +255,6 @@ func NewEngine(mod *cir.Module, cfg Config) *Engine {
 func (e *Engine) Run() *Result {
 	start := time.Now()
 	entries := e.CG.EntryFunctions()
-	if e.OnlyEntries != nil {
-		allowed := make(map[string]bool, len(e.OnlyEntries))
-		for _, n := range e.OnlyEntries {
-			allowed[n] = true
-		}
-		var filtered []*cir.Function
-		for _, fn := range entries {
-			if allowed[fn.Name] {
-				filtered = append(filtered, fn)
-			}
-		}
-		entries = filtered
-	}
 	e.stats.EntryFunctions = len(entries)
 	for _, fn := range entries {
 		e.analyzeEntry(fn)
@@ -263,6 +272,8 @@ func (e *Engine) Run() *Result {
 			out := e.Cfg.ValidatePath(pb, e.Cfg.Mode)
 			res.Stats.Constraints += out.Constraints
 			res.Stats.ConstraintsUnaware += out.ConstraintsUnaware
+			res.Stats.ValidationCacheHits += out.CacheHits
+			res.Stats.ValidationCacheMisses += out.CacheMisses
 			if !out.Feasible {
 				res.Stats.FalseDropped++
 				continue

@@ -4,119 +4,345 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/callgraph"
 	"repro/internal/cir"
 )
 
-// RunParallel analyzes the module with `workers` engines running entry
-// functions concurrently (entry functions are independent analysis roots, so
-// Stage 1 parallelizes perfectly). Results are merged deterministically:
-// candidates are deduplicated across workers by the same (checker, origin,
-// bug) key, keeping the candidate from the lexicographically first entry
-// function, and Stage 2 validation runs on the merged set.
+// entryTask is one Stage-1 unit of work: a single entry function, tagged
+// with its position in the name-ordered entry list so the merger can replay
+// results in the exact order the sequential engine would visit them.
+type entryTask struct {
+	idx int
+	fn  *cir.Function
+}
+
+// stealQueue is a mutex-based work-stealing deque of entry tasks. Deques
+// are seeded in descending instruction-count order, so the owner pops the
+// largest remaining entry from the front while thieves steal the smallest
+// from the back — the classic LPT heuristic plus stealing, which keeps all
+// workers busy on skewed corpora (a handful of huge driver entries next to
+// many tiny ones).
+type stealQueue struct {
+	mu    sync.Mutex
+	tasks []entryTask
+}
+
+func (q *stealQueue) popFront() (entryTask, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.tasks) == 0 {
+		return entryTask{}, false
+	}
+	t := q.tasks[0]
+	q.tasks = q.tasks[1:]
+	return t, true
+}
+
+func (q *stealQueue) popBack() (entryTask, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.tasks) == 0 {
+		return entryTask{}, false
+	}
+	t := q.tasks[len(q.tasks)-1]
+	q.tasks = q.tasks[:len(q.tasks)-1]
+	return t, true
+}
+
+// steal scans the other workers' deques for a task, starting after w.
+func steal(queues []*stealQueue, w int) (entryTask, bool) {
+	for i := 1; i < len(queues); i++ {
+		if t, ok := queues[(w+i)%len(queues)].popBack(); ok {
+			return t, true
+		}
+	}
+	return entryTask{}, false
+}
+
+// candRec tracks one merged candidate through the validation pipeline. The
+// merger writes pb and prim before dispatch; exactly one validator worker
+// writes out; the assembler reads everything after the pools drain.
+type candRec struct {
+	pb *PossibleBug
+	// prim is a snapshot of the candidate with AltPaths stripped, taken at
+	// dispatch time — the merger may still append alternate witnesses to pb
+	// while the primary path is being validated.
+	prim *PossibleBug
+	out  ValidationOutcome
+}
+
+// runEntryDelta analyzes a single entry function on a reused engine and
+// returns that entry's delta Result. RunParallel's workers call this instead
+// of Run so one engine — tracker, alias graph, memo tables — is amortized
+// over all the worker's entries. The dedup map is cleared between entries
+// (its buckets are reused): within-entry deduplication happens here, exactly
+// as in the sequential engine, while cross-entry deduplication is replayed
+// centrally by the merger in entry order.
+func (e *Engine) runEntryDelta(fn *cir.Function) *Result {
+	prev := e.stats
+	prevTrk := e.tracker0Stats()
+	clear(e.dedup)
+	e.possible = nil
+	e.analyzeEntry(fn)
+	trk := e.tracker0Stats()
+	res := &Result{Possible: e.possible}
+	res.Stats.EntryFunctions = 1
+	res.Stats.PathsExplored = e.stats.PathsExplored - prev.PathsExplored
+	res.Stats.StepsExecuted = e.stats.StepsExecuted - prev.StepsExecuted
+	res.Stats.Budgeted = e.stats.Budgeted - prev.Budgeted
+	res.Stats.RepeatedDropped = e.stats.RepeatedDropped - prev.RepeatedDropped
+	res.Stats.Typestates = trk.Transitions - prevTrk.Transitions
+	res.Stats.TypestatesUnaware = trk.TransitionsUnaware - prevTrk.TransitionsUnaware
+	return res
+}
+
+// RunParallel analyzes the module with a pipelined two-stage scheduler.
+//
+// Stage 1 runs `workers` concurrent engines over a work-stealing queue of
+// entry functions sorted by descending instruction count (entry functions
+// are independent analysis roots, so Stage 1 parallelizes perfectly and the
+// largest entries start first). Stage 2 runs cfg.ValidateWorkers concurrent
+// path validators; candidate bugs stream from Stage-1 workers through a
+// bounded channel into the validator pool, so constraint solving overlaps
+// path exploration instead of waiting for the full merge.
+//
+// The result is identical to the sequential Engine.Run: per-entry results
+// are replayed through the merge in entry-name order, reproducing the
+// sequential engine's candidate order, cross-entry deduplication, and
+// AltPaths accumulation exactly, and each candidate's validation tries the
+// same witness paths in the same order. Only the timing counters
+// (AnalysisTime, ValidationTime, WorkSteals) differ.
 //
 // workers <= 0 selects GOMAXPROCS. The merged Stats sum the per-worker
-// counters; AnalysisTime is the wall-clock of the parallel phase.
+// counters; AnalysisTime is the wall-clock of the Stage-1 parallel phase
+// (including validation work overlapped with it), ValidationTime the
+// wall-clock of draining the remaining validation work after Stage 1.
 func RunParallel(mod *cir.Module, cfg Config, workers int) *Result {
 	cfg = cfg.withDefaults()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	probe := NewEngine(mod, cfg)
-	entries := probe.CG.EntryFunctions()
+	vworkers := cfg.ValidateWorkers
+	if vworkers <= 0 {
+		vworkers = runtime.GOMAXPROCS(0)
+	}
+	cg := callgraph.Build(mod)
+	entries := cg.EntryFunctions()
 	if workers > len(entries) {
 		workers = len(entries)
 	}
-	if workers <= 1 {
-		return probe.Run()
+	if workers <= 1 && vworkers <= 1 {
+		// Nothing to overlap: the sequential engine is equivalent and
+		// avoids the scheduling machinery.
+		return newEngineWithCG(mod, cfg, cg).Run()
+	}
+	if workers < 1 {
+		workers = 1
 	}
 
-	type shardResult struct {
+	start := time.Now()
+
+	// Seed the deques: entries sorted by descending size, striped across
+	// workers so every deque starts with a mix of large and small tasks.
+	sorted := make([]entryTask, len(entries))
+	sizes := make([]int, len(entries))
+	for i, fn := range entries {
+		sorted[i] = entryTask{idx: i, fn: fn}
+		sizes[i] = fn.NumInstrs()
+	}
+	sort.SliceStable(sorted, func(i, j int) bool {
+		si, sj := sizes[sorted[i].idx], sizes[sorted[j].idx]
+		if si != sj {
+			return si > sj
+		}
+		return sorted[i].fn.Name < sorted[j].fn.Name
+	})
+	queues := make([]*stealQueue, workers)
+	for w := range queues {
+		queues[w] = &stealQueue{}
+	}
+	for i, t := range sorted {
+		q := queues[i%workers]
+		q.tasks = append(q.tasks, t)
+	}
+
+	// Stage-1 workers: one reused engine per worker (sharing the call
+	// graph), emitting one delta Result per entry so a finished entry
+	// streams to the merger while its worker moves on.
+	type entryResult struct {
 		idx int
 		res *Result
 	}
-	// Round-robin sharding keeps big and small entries mixed.
-	shards := make([][]string, workers)
-	for i, fn := range entries {
-		shards[i%workers] = append(shards[i%workers], fn.Name)
-	}
-
-	results := make([]*Result, workers)
-	var wg sync.WaitGroup
+	resCh := make(chan entryResult, workers)
+	var steals int64
+	var wg1 sync.WaitGroup
+	subCfg := cfg
+	subCfg.Validate = false // Stage 2 runs in the validator pool
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
+		wg1.Add(1)
 		go func(w int) {
-			defer wg.Done()
-			sub := cfg
-			sub.Validate = false // Stage 2 runs once, after the merge
-			eng := NewEngine(mod, sub)
-			eng.OnlyEntries = shards[w]
-			results[w] = eng.Run()
+			defer wg1.Done()
+			eng := newEngineWithCG(mod, subCfg, cg)
+			for {
+				t, ok := queues[w].popFront()
+				if !ok {
+					if t, ok = steal(queues, w); !ok {
+						return
+					}
+					atomic.AddInt64(&steals, 1)
+				}
+				resCh <- entryResult{idx: t.idx, res: eng.runEntryDelta(t.fn)}
+			}
 		}(w)
 	}
-	wg.Wait()
 
-	// Merge: stats sum; candidates dedup by key across workers.
-	merged := &Result{}
-	type key struct {
-		checker string
-		origin  int
-		bug     int
-	}
-	seen := map[key]*PossibleBug{}
-	var order []key
-	for _, r := range results {
-		s := &merged.Stats
-		s.EntryFunctions += r.Stats.EntryFunctions
-		s.PathsExplored += r.Stats.PathsExplored
-		s.StepsExecuted += r.Stats.StepsExecuted
-		s.Budgeted += r.Stats.Budgeted
-		s.Typestates += r.Stats.Typestates
-		s.TypestatesUnaware += r.Stats.TypestatesUnaware
-		s.PossibleBugs += r.Stats.PossibleBugs
-		s.RepeatedDropped += r.Stats.RepeatedDropped
-		for _, pb := range r.Possible {
-			k := key{checker: pb.Checker.Name(), origin: pb.OriginGID, bug: pb.BugInstr.GID()}
-			if prev, dup := seen[k]; dup {
-				merged.Stats.RepeatedDropped++
-				if len(prev.AltPaths) < maxAltPaths {
-					prev.AltPaths = append(prev.AltPaths, pb.Path)
-				}
-				continue
+	// Stage-2 validator pool: primary witness paths are validated as soon
+	// as the merger materializes a candidate. A candidate whose primary
+	// path is feasible never consults its alternates (exactly as the
+	// sequential validator short-circuits), so its verdict is final here.
+	validate := cfg.Validate && cfg.ValidatePath != nil
+	vtasks := make(chan *candRec, 4*vworkers)
+	var wgV sync.WaitGroup
+	for i := 0; i < vworkers; i++ {
+		wgV.Add(1)
+		go func() {
+			defer wgV.Done()
+			for rec := range vtasks {
+				rec.out = cfg.ValidatePath(rec.prim, cfg.Mode)
 			}
-			seen[k] = pb
-			order = append(order, k)
-		}
-	}
-	sort.Slice(order, func(i, j int) bool {
-		a, b := order[i], order[j]
-		if a.bug != b.bug {
-			return a.bug < b.bug
-		}
-		if a.origin != b.origin {
-			return a.origin < b.origin
-		}
-		return a.checker < b.checker
-	})
-	for _, k := range order {
-		merged.Possible = append(merged.Possible, seen[k])
+		}()
 	}
 
-	// Stage 2 on the merged candidates.
-	for _, pb := range merged.Possible {
-		b := &Bug{PossibleBug: pb}
-		if cfg.Validate && cfg.ValidatePath != nil {
-			out := cfg.ValidatePath(pb, cfg.Mode)
-			merged.Stats.Constraints += out.Constraints
-			merged.Stats.ConstraintsUnaware += out.ConstraintsUnaware
-			if !out.Feasible {
+	// Merger: replays per-entry candidate lists in entry-name order through
+	// a global dedup, reproducing the sequential engine's bugSink behavior
+	// across entries — the first sighting keeps the candidate, later
+	// sightings append their primary path and then their own alternates as
+	// AltPaths (capped), each sighting counting one repeated drop.
+	merged := &Result{}
+	var recs []*candRec
+	mergeDone := make(chan struct{})
+	go func() {
+		defer close(mergeDone)
+		type mergeKey struct {
+			checker string
+			origin  int
+			bug     int
+		}
+		seen := make(map[mergeKey]*PossibleBug)
+		pending := make(map[int]*Result)
+		next := 0
+		for er := range resCh {
+			pending[er.idx] = er.res
+			for {
+				r, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				s := &merged.Stats
+				s.EntryFunctions += r.Stats.EntryFunctions
+				s.PathsExplored += r.Stats.PathsExplored
+				s.StepsExecuted += r.Stats.StepsExecuted
+				s.Budgeted += r.Stats.Budgeted
+				s.Typestates += r.Stats.Typestates
+				s.TypestatesUnaware += r.Stats.TypestatesUnaware
+				s.RepeatedDropped += r.Stats.RepeatedDropped
+				for _, pb := range r.Possible {
+					k := mergeKey{checker: pb.Checker.Name(), origin: pb.OriginGID, bug: pb.BugInstr.GID()}
+					if prev, dup := seen[k]; dup {
+						merged.Stats.RepeatedDropped++
+						if len(prev.AltPaths) < maxAltPaths {
+							prev.AltPaths = append(prev.AltPaths, pb.Path)
+						}
+						for _, alt := range pb.AltPaths {
+							if len(prev.AltPaths) >= maxAltPaths {
+								break
+							}
+							prev.AltPaths = append(prev.AltPaths, alt)
+						}
+						continue
+					}
+					seen[k] = pb
+					merged.Possible = append(merged.Possible, pb)
+					rec := &candRec{pb: pb}
+					recs = append(recs, rec)
+					if validate {
+						prim := *pb
+						prim.AltPaths = nil
+						rec.prim = &prim
+						vtasks <- rec
+					}
+				}
+			}
+		}
+	}()
+
+	wg1.Wait()
+	close(resCh)
+	<-mergeDone
+	merged.Stats.AnalysisTime = time.Since(start)
+	close(vtasks)
+	wgV.Wait()
+
+	// Deferred pass: candidates whose primary path was infeasible try their
+	// accumulated alternate witnesses in order, like the sequential
+	// validator, but concurrently across candidates. This must wait for the
+	// Stage-1 barrier because alternates keep arriving until the merge is
+	// complete.
+	vstart := time.Now()
+	if validate {
+		altCh := make(chan *candRec)
+		var wgA sync.WaitGroup
+		for i := 0; i < vworkers; i++ {
+			wgA.Add(1)
+			go func() {
+				defer wgA.Done()
+				for rec := range altCh {
+					alt := *rec.pb
+					alt.Path = rec.pb.AltPaths[0]
+					alt.AltPaths = rec.pb.AltPaths[1:]
+					out := cfg.ValidatePath(&alt, cfg.Mode)
+					rec.out.Feasible = out.Feasible
+					rec.out.Constraints += out.Constraints
+					rec.out.ConstraintsUnaware += out.ConstraintsUnaware
+					rec.out.CacheHits += out.CacheHits
+					rec.out.CacheMisses += out.CacheMisses
+					// Trigger stays the primary path's, matching the
+					// sequential validator.
+				}
+			}()
+		}
+		for _, rec := range recs {
+			if !rec.out.Feasible && len(rec.pb.AltPaths) > 0 {
+				altCh <- rec
+			}
+		}
+		close(altCh)
+		wgA.Wait()
+	}
+
+	for _, rec := range recs {
+		b := &Bug{PossibleBug: rec.pb}
+		if validate {
+			merged.Stats.Constraints += rec.out.Constraints
+			merged.Stats.ConstraintsUnaware += rec.out.ConstraintsUnaware
+			merged.Stats.ValidationCacheHits += rec.out.CacheHits
+			merged.Stats.ValidationCacheMisses += rec.out.CacheMisses
+			if !rec.out.Feasible {
 				merged.Stats.FalseDropped++
 				continue
 			}
 			b.Validated = true
-			b.Trigger = out.Trigger
+			b.Trigger = rec.out.Trigger
 		}
 		merged.Bugs = append(merged.Bugs, b)
 	}
+	merged.Stats.PossibleBugs = int64(len(merged.Possible)) + merged.Stats.RepeatedDropped
+	merged.Stats.WorkSteals = atomic.LoadInt64(&steals)
+	merged.Stats.ValidationTime = time.Since(vstart)
 	return merged
 }

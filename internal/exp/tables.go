@@ -55,11 +55,12 @@ type Table5Row struct {
 // Table5 reproduces "Analysis results of the four OSes": code-analysis cost
 // counters (typestates and SMT constraints, alias-aware vs unaware),
 // bug-filtering counters (dropped repeated/false bugs) and found/real bugs
-// per type.
+// per type. The runs go through the pipelined parallel scheduler, so the
+// time-usage row reflects the overlapped two-stage pipeline.
 func Table5(w io.Writer) ([]Table5Row, error) {
 	var rows []Table5Row
 	for _, c := range Corpora() {
-		run, err := RunPATA(c, PATAConfig(), "pata")
+		run, err := RunPATAPipelined(c, PATAConfig(), "pata", 0)
 		if err != nil {
 			return nil, err
 		}
@@ -121,6 +122,15 @@ func Table5(w io.Writer) ([]Table5Row, error) {
 		func() string {
 			return fmt.Sprintf("%d", sumI(func(r Table5Row) int64 { return r.Run.Stats.FalseDropped }))
 		})
+	addRow("Verdict cache (hits/misses)",
+		func(r Table5Row) string {
+			return fmt.Sprintf("%d/%d", r.Run.Stats.ValidationCacheHits, r.Run.Stats.ValidationCacheMisses)
+		},
+		func() string {
+			return fmt.Sprintf("%d/%d",
+				sumI(func(r Table5Row) int64 { return r.Run.Stats.ValidationCacheHits }),
+				sumI(func(r Table5Row) int64 { return r.Run.Stats.ValidationCacheMisses }))
+		})
 	addRow("Found bugs (NPD/UVA/ML)",
 		func(r Table5Row) string { return counts(r.Run.Score, true) },
 		func() string { return "" })
@@ -129,6 +139,11 @@ func Table5(w io.Writer) ([]Table5Row, error) {
 		func() string { return "" })
 	addRow("Time usage",
 		func(r Table5Row) string { return fmtDuration(r.Run.Elapsed) },
+		func() string { return "" })
+	addRow("Stage wall-clock (S1/S2 tail)",
+		func(r Table5Row) string {
+			return fmt.Sprintf("%s/%s", fmtDuration(r.Run.Stats.AnalysisTime), fmtDuration(r.Run.Stats.ValidationTime))
+		},
 		func() string { return "" })
 	t.Write(w)
 
@@ -207,14 +222,14 @@ type Table6Row struct {
 }
 
 // Table6 reproduces the PATA vs PATA-NA sensitivity analysis on the
-// Linux-like corpus.
+// Linux-like corpus. Both variants run through the pipelined scheduler.
 func Table6(w io.Writer) ([]Table6Row, error) {
 	c := Corpora()[0]
-	na, err := RunPATA(c, NAConfig(), "pata-na")
+	na, err := RunPATAPipelined(c, NAConfig(), "pata-na", 0)
 	if err != nil {
 		return nil, err
 	}
-	full, err := RunPATA(c, PATAConfig(), "pata")
+	full, err := RunPATAPipelined(c, PATAConfig(), "pata", 0)
 	if err != nil {
 		return nil, err
 	}
@@ -225,6 +240,9 @@ func Table6(w io.Writer) ([]Table6Row, error) {
 	t.AddRow("Real bugs (NPD/UVA/ML)", counts(na.Score, false), counts(full.Score, false))
 	t.AddRow("False positive rate",
 		fmt.Sprintf("%.0f%%", na.Score.FPRate()), fmt.Sprintf("%.0f%%", full.Score.FPRate()))
+	t.AddRow("Verdict cache (hits/misses)",
+		fmt.Sprintf("%d/%d", na.Stats.ValidationCacheHits, na.Stats.ValidationCacheMisses),
+		fmt.Sprintf("%d/%d", full.Stats.ValidationCacheHits, full.Stats.ValidationCacheMisses))
 	t.AddRow("Time usage", fmtDuration(na.Elapsed), fmtDuration(full.Elapsed))
 	t.Write(w)
 	fmt.Fprintln(w, "(paper: PATA-NA 620 found/194 real/69% FP; PATA 627/454/28%)")

@@ -63,6 +63,28 @@ func RunPATA(c *oscorpus.Corpus, cfg core.Config, toolName string) (*ToolRun, er
 	return tr, nil
 }
 
+// RunPATAPipelined runs the framework through core.RunParallel's pipelined
+// two-stage scheduler (work-stealing Stage-1 workers, concurrent Stage-2
+// validation). Findings and counters are identical to RunPATA — only the
+// wall-clock and the scheduler counters (WorkSteals, cache hits) differ.
+// workers <= 0 selects GOMAXPROCS for both stages.
+func RunPATAPipelined(c *oscorpus.Corpus, cfg core.Config, toolName string, workers int) (*ToolRun, error) {
+	mod, err := lowerCorpus(c)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := core.RunParallel(mod, cfg, workers)
+	tr := &ToolRun{
+		Tool:    toolName,
+		Reports: bugReports(toolName, res.Bugs),
+		Elapsed: time.Since(start),
+		Stats:   res.Stats,
+	}
+	tr.Score = oscorpus.Evaluate(c, tr.Reports)
+	return tr, nil
+}
+
 // PATAConfig is the paper's main configuration (path-based alias analysis,
 // NPD+UVA+ML, SMT validation).
 func PATAConfig() core.Config {

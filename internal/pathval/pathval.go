@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/aliasgraph"
 	"repro/internal/cir"
@@ -20,18 +22,66 @@ import (
 	"repro/internal/smt"
 )
 
-// Validator validates candidate bug paths. Safe for reuse across bugs; not
-// safe for concurrent use.
+// Validator validates candidate bug paths. Safe for reuse across bugs and
+// for concurrent use (RunParallel's validator pool calls Validate from
+// several goroutines); the counters are updated atomically and the verdict
+// cache is internally synchronized.
 type Validator struct {
-	// Stats accumulates solver work.
+	// Stats accumulates solver work. Read with atomic loads while
+	// validations are in flight; plain reads are fine once quiescent.
 	Queries int64
 	Unsat   int64
 	Sat     int64
 	Unknown int64
+	// CacheHits/CacheMisses count verdict-cache outcomes: a hit reuses the
+	// sat/unsat verdict and model of a previously solved, structurally
+	// identical constraint system.
+	CacheHits   int64
+	CacheMisses int64
+
+	mu    sync.Mutex
+	cache map[string]*verdict
+}
+
+// verdict is one memoized solver answer. The first goroutine to need a key
+// inserts the entry and solves; later goroutines wait on ready and reuse
+// the answer, so a system is never solved twice even under concurrency.
+type verdict struct {
+	ready chan struct{}
+	res   smt.Result
+	model smt.Model
 }
 
 // New returns a Validator.
-func New() *Validator { return &Validator{} }
+func New() *Validator { return &Validator{cache: make(map[string]*verdict)} }
+
+// solveCached decides f, memoizing by the canonical structural key of the
+// constraint system (smt.Formula.Key hash-conses the conjunction): candidate
+// paths sharing the same constraints — common for bugs on shared path
+// prefixes and for AltPath re-validations — skip the solver entirely. The
+// replay that produced f is deterministic, so a cached model assigns the
+// same variable IDs a cold solve would and the trigger values come out
+// identical. Returns whether the verdict came from the cache.
+func (v *Validator) solveCached(ctx *smt.Context, f smt.Formula) (smt.Result, smt.Model, bool) {
+	key := f.Key()
+	v.mu.Lock()
+	if v.cache == nil {
+		v.cache = make(map[string]*verdict)
+	}
+	if e, ok := v.cache[key]; ok {
+		v.mu.Unlock()
+		<-e.ready
+		atomic.AddInt64(&v.CacheHits, 1)
+		return e.res, e.model, true
+	}
+	e := &verdict{ready: make(chan struct{})}
+	v.cache[key] = e
+	v.mu.Unlock()
+	e.res, e.model = smt.NewSolver(ctx).SolveWithModel(f)
+	close(e.ready)
+	atomic.AddInt64(&v.CacheMisses, 1)
+	return e.res, e.model, false
+}
 
 // Install wires the validator into an engine config.
 func (v *Validator) Install(cfg *core.Config) {
@@ -53,12 +103,14 @@ func (v *Validator) Validate(bug *core.PossibleBug, mode core.Mode) core.Validat
 		out.Feasible = altOut.Feasible
 		out.Constraints += altOut.Constraints
 		out.ConstraintsUnaware += altOut.ConstraintsUnaware
+		out.CacheHits += altOut.CacheHits
+		out.CacheMisses += altOut.CacheMisses
 	}
 	return out
 }
 
 func (v *Validator) validateOne(bug *core.PossibleBug, path []core.PathStep, mode core.Mode) core.ValidationOutcome {
-	v.Queries++
+	atomic.AddInt64(&v.Queries, 1)
 	r := &replayer{
 		mode:  mode,
 		g:     aliasgraph.New(),
@@ -68,17 +120,16 @@ func (v *Validator) validateOne(bug *core.PossibleBug, path []core.PathStep, mod
 		execs: make(map[int]int),
 	}
 	r.replay(bug, path)
-	solver := smt.NewSolver(r.ctx)
-	res, model := solver.SolveWithModel(smt.And(r.atoms...))
+	res, model, hit := v.solveCached(r.ctx, smt.And(r.atoms...))
 	switch res {
 	case smt.Unsat:
-		v.Unsat++
+		atomic.AddInt64(&v.Unsat, 1)
 	case smt.Sat:
-		v.Sat++
+		atomic.AddInt64(&v.Sat, 1)
 	default:
-		v.Unknown++
+		atomic.AddInt64(&v.Unknown, 1)
 	}
-	return core.ValidationOutcome{
+	out := core.ValidationOutcome{
 		// Only a proven-unsatisfiable path is infeasible; Sat and Unknown
 		// keep the bug (conservative for a bug finder).
 		Feasible:           res != smt.Unsat,
@@ -86,6 +137,12 @@ func (v *Validator) validateOne(bug *core.PossibleBug, path []core.PathStep, mod
 		ConstraintsUnaware: r.unaware,
 		Trigger:            r.triggerValues(model),
 	}
+	if hit {
+		out.CacheHits = 1
+	} else {
+		out.CacheMisses = 1
+	}
+	return out
 }
 
 // triggerValues renders the solver model as "name = value" pairs for

@@ -1,7 +1,9 @@
 package pathval
 
 import (
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -288,6 +290,104 @@ void func(char *p, int flags) {
 	for _, pb := range cands {
 		if v.Validate(pb, core.ModePATA).Feasible {
 			t.Error("contradictory bitwise guards kept (congruence should refute)")
+		}
+	}
+}
+
+func TestVerdictCacheHitIdenticalOutcome(t *testing.T) {
+	// Re-validating a candidate must serve every solve from the verdict
+	// cache and still return a byte-identical outcome — same feasibility,
+	// same constraint counts, and the same trigger values (the cached model
+	// is the model of the first solve).
+	sources := map[string]string{
+		"feasible-with-trigger": `
+struct s { int f; };
+int func(struct s *p, int n) {
+	if (n > 5) {
+		if (!p)
+			return p->f;
+	}
+	return 0;
+}`,
+		"infeasible-with-alts": `
+void func(char *p) {
+	int x = 3;
+	if (x == 5) {
+		if (!p)
+			use(*p);
+	}
+	if (!p)
+		use(*p);
+}`,
+	}
+	for name, src := range sources {
+		t.Run(name, func(t *testing.T) {
+			cands, v := analyze(t, src, core.ModePATA)
+			if len(cands) == 0 {
+				t.Fatal("no candidates")
+			}
+			for _, pb := range cands {
+				cold := v.Validate(pb, core.ModePATA)
+				if cold.CacheMisses == 0 {
+					t.Errorf("%s: first validation should miss the cache", pb.BugInstr.Position())
+				}
+				warm := v.Validate(pb, core.ModePATA)
+				if warm.CacheHits != cold.CacheMisses || warm.CacheMisses != 0 {
+					t.Errorf("%s: revalidation should be all cache hits: cold misses=%d, warm hits=%d misses=%d",
+						pb.BugInstr.Position(), cold.CacheMisses, warm.CacheHits, warm.CacheMisses)
+				}
+				cold.CacheHits, cold.CacheMisses = 0, 0
+				warm.CacheHits, warm.CacheMisses = 0, 0
+				if !reflect.DeepEqual(cold, warm) {
+					t.Errorf("%s: cache-hit outcome differs:\ncold: %+v\nwarm: %+v",
+						pb.BugInstr.Position(), cold, warm)
+				}
+			}
+			if v.CacheHits == 0 {
+				t.Error("validator CacheHits counter not incremented")
+			}
+		})
+	}
+}
+
+func TestVerdictCacheConcurrentSingleflight(t *testing.T) {
+	// Concurrent validations of the same candidate must solve each distinct
+	// constraint system exactly once: total misses equal one sequential cold
+	// pass, everything else hits, and every goroutine sees the same outcome.
+	cands, v := analyze(t, infeasibleSrc, core.ModePATA)
+	var target *core.PossibleBug
+	for _, pb := range cands {
+		if pb.BugInstr.Position().Line == 10 {
+			target = pb
+		}
+	}
+	if target == nil {
+		t.Fatal("stage 1 did not produce the candidate")
+	}
+	coldMisses := New().Validate(target, core.ModePATA).CacheMisses
+
+	const n = 16
+	outs := make([]core.ValidationOutcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = v.Validate(target, core.ModePATA)
+		}(i)
+	}
+	wg.Wait()
+	if v.CacheMisses != coldMisses {
+		t.Errorf("distinct systems solved %d times, want %d", v.CacheMisses, coldMisses)
+	}
+	if v.CacheHits != int64(n)*coldMisses-coldMisses {
+		t.Errorf("CacheHits = %d, want %d", v.CacheHits, int64(n)*coldMisses-coldMisses)
+	}
+	for i := 1; i < n; i++ {
+		a, b := outs[0], outs[i]
+		a.CacheHits, a.CacheMisses, b.CacheHits, b.CacheMisses = 0, 0, 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("goroutine %d outcome differs: %+v vs %+v", i, outs[0], outs[i])
 		}
 	}
 }

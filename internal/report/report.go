@@ -64,6 +64,25 @@ func OriginInstr(b *core.Bug) cir.Instr {
 	return nil
 }
 
+// WriteStats renders the engine counters, including the pipelined
+// scheduler's per-stage wall-clock, work-steal, and verdict-cache counters
+// (cmd/pata -stats uses this).
+func WriteStats(w io.Writer, st core.Stats) {
+	fmt.Fprintf(w, "statistics:\n")
+	fmt.Fprintf(w, "  entry functions:     %d\n", st.EntryFunctions)
+	fmt.Fprintf(w, "  paths explored:      %d\n", st.PathsExplored)
+	fmt.Fprintf(w, "  steps executed:      %d\n", st.StepsExecuted)
+	fmt.Fprintf(w, "  typestates:          %d (unaware: %d)\n", st.Typestates, st.TypestatesUnaware)
+	fmt.Fprintf(w, "  SMT constraints:     %d (unaware: %d)\n", st.Constraints, st.ConstraintsUnaware)
+	fmt.Fprintf(w, "  repeated dropped:    %d\n", st.RepeatedDropped)
+	fmt.Fprintf(w, "  false dropped:       %d\n", st.FalseDropped)
+	fmt.Fprintf(w, "  verdict cache:       %d hits, %d misses\n",
+		st.ValidationCacheHits, st.ValidationCacheMisses)
+	fmt.Fprintf(w, "  work steals:         %d\n", st.WorkSteals)
+	fmt.Fprintf(w, "  analysis time:       %v\n", st.AnalysisTime)
+	fmt.Fprintf(w, "  validation time:     %v\n", st.ValidationTime)
+}
+
 // Summary aggregates bug counts by type.
 type Summary struct {
 	Total  int

@@ -23,6 +23,29 @@ func BenchmarkConjunction(b *testing.B) {
 	}
 }
 
+// BenchmarkFormulaKey measures computing the canonical structural key of a
+// path conjunction — the verdict cache pays this on every lookup, so it must
+// stay far below solve cost.
+func BenchmarkFormulaKey(b *testing.B) {
+	ctx := NewContext()
+	vars := make([]*Var, 8)
+	for j := range vars {
+		vars[j] = ctx.Var("v")
+	}
+	fs := []Formula{Ge(vars[0], Int(0))}
+	for j := 1; j < len(vars); j++ {
+		fs = append(fs, Eq(vars[j], Add(vars[j-1], Int(1))))
+	}
+	fs = append(fs, Le(vars[len(vars)-1], Int(100)), Ne(vars[3], Int(-5)))
+	f := And(fs...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f.Key() == "" {
+			b.Fatal("empty key")
+		}
+	}
+}
+
 // BenchmarkUnsatRefutation measures proving a Figure 9-style contradiction.
 func BenchmarkUnsatRefutation(b *testing.B) {
 	for i := 0; i < b.N; i++ {

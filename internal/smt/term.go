@@ -13,6 +13,7 @@ package smt
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -107,6 +108,12 @@ func Bin(op string, x, y Term) Term { return &BinTerm{Op: op, X: x, Y: y} }
 // Formula is a boolean combination of atoms.
 type Formula interface {
 	String() string
+	// Key returns a canonical structural key: two formulas with equal keys
+	// are syntactically identical up to the order of conjuncts/disjuncts.
+	// Variable identity is part of the key (terms key by Var ID), so keys
+	// are only comparable for formulas built in deterministically replayed
+	// contexts. Used by pathval's verdict cache to memoize solver calls.
+	Key() string
 }
 
 // Atom is X pred Y over integer terms.
@@ -117,20 +124,33 @@ type Atom struct {
 
 func (a *Atom) String() string { return fmt.Sprintf("%s %s %s", a.X, a.Pred, a.Y) }
 
+// Key implements Formula.
+func (a *Atom) Key() string { return "(" + a.X.key() + a.Pred + a.Y.key() + ")" }
+
 // AndF is a conjunction.
 type AndF struct{ Fs []Formula }
 
 func (f *AndF) String() string { return joinF("and", f.Fs) }
+
+// Key implements Formula: conjunct order does not affect satisfiability, so
+// child keys are sorted to canonicalize the conjunction.
+func (f *AndF) Key() string { return keyF("and", f.Fs) }
 
 // OrF is a disjunction.
 type OrF struct{ Fs []Formula }
 
 func (f *OrF) String() string { return joinF("or", f.Fs) }
 
+// Key implements Formula (children sorted, as for AndF).
+func (f *OrF) Key() string { return keyF("or", f.Fs) }
+
 // NotF is a negation.
 type NotF struct{ F Formula }
 
 func (f *NotF) String() string { return "(not " + f.F.String() + ")" }
+
+// Key implements Formula.
+func (f *NotF) Key() string { return "(not " + f.F.Key() + ")" }
 
 // BoolLit is a constant formula.
 type BoolLit struct{ Val bool }
@@ -140,6 +160,26 @@ func (f *BoolLit) String() string {
 		return "true"
 	}
 	return "false"
+}
+
+// Key implements Formula.
+func (f *BoolLit) Key() string { return f.String() }
+
+// keyF renders a canonical key for a commutative boolean combination.
+func keyF(op string, fs []Formula) string {
+	keys := make([]string, len(fs))
+	for i, f := range fs {
+		keys[i] = f.Key()
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("(" + op)
+	for _, k := range keys {
+		b.WriteString(" ")
+		b.WriteString(k)
+	}
+	b.WriteString(")")
+	return b.String()
 }
 
 func joinF(op string, fs []Formula) string {

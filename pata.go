@@ -65,6 +65,12 @@ type Config struct {
 	// engines (0 or 1 = sequential). Findings are identical to a
 	// sequential run; only wall-clock changes.
 	Workers int
+	// ValidateWorkers sets how many concurrent Stage-2 validation workers
+	// the pipelined scheduler uses when Workers or ValidateWorkers exceeds
+	// 1 (0 selects GOMAXPROCS once the pipeline is active). Candidate bugs
+	// stream into the validator pool while path exploration is still
+	// running, overlapping SMT solving with Stage 1.
+	ValidateWorkers int
 	// WitnessPaths renders each bug's witness path (source lines with
 	// branch directions) into Bug.Witness.
 	WitnessPaths bool
@@ -153,6 +159,7 @@ func (c Config) engineConfig() (core.Config, error) {
 		MaxPathsPerEntry:        c.MaxPathsPerEntry,
 		MaxContinuationsPerCall: c.MaxContinuationsPerCall,
 		LoopUnroll:              c.LoopUnroll,
+		ValidateWorkers:         c.ValidateWorkers,
 	}
 	if c.NoAlias {
 		ec.Mode = core.ModeNoAlias
@@ -175,7 +182,7 @@ func AnalyzeSources(name string, sources map[string]string, cfg Config) (*Result
 		return nil, err
 	}
 	var res *core.Result
-	if cfg.Workers > 1 {
+	if cfg.Workers > 1 || cfg.ValidateWorkers > 1 {
 		res = core.RunParallel(mod, ec, cfg.Workers)
 	} else {
 		res = core.NewEngine(mod, ec).Run()
