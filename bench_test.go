@@ -381,6 +381,47 @@ func BenchmarkValidatorCache(b *testing.B) {
 	})
 }
 
+// BenchmarkPruningAblation compares Stage-1 cost with the on-the-fly
+// pruning layers (incremental feasibility cursor + (block, state)
+// memoization, the defaults) against the unpruned engine on the linux-like
+// corpus. The found-bug set is identical in both variants
+// (TestPruningEquivalence); only explored paths and wall-clock differ.
+func BenchmarkPruningAblation(b *testing.B) {
+	c := oscorpus.Generate(oscorpus.LinuxSpec())
+	mod, err := minicc.LowerAll(c.Spec.Name, c.Sources)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("defaults", func(b *testing.B) {
+		var paths int64
+		for i := 0; i < b.N; i++ {
+			res := core.NewEngine(mod, core.Config{Checkers: typestate.CoreCheckers()}).Run()
+			paths = res.Stats.PathsExplored
+		}
+		b.ReportMetric(float64(paths), "paths")
+	})
+	b.Run("no-prune-no-memo", func(b *testing.B) {
+		var paths int64
+		for i := 0; i < b.N; i++ {
+			res := core.NewEngine(mod, core.Config{
+				Checkers: typestate.CoreCheckers(), NoPrune: true, NoMemo: true,
+			}).Run()
+			paths = res.Stats.PathsExplored
+		}
+		b.ReportMetric(float64(paths), "paths")
+	})
+}
+
+// BenchmarkBenchPipeline regenerates the BENCH_pipeline.json grid (all
+// corpora × workers {1,4} × pruning on/off) without writing the file.
+func BenchmarkBenchPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.BenchPipeline(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkExtensions regenerates the repo-extension experiment (UAF + API
 // pairing checkers).
 func BenchmarkExtensions(b *testing.B) {

@@ -12,6 +12,8 @@
 //	-dir DIR               analyze every .c file under DIR
 //	-no-alias              run the PATA-NA alias-unaware variant (§5.4)
 //	-no-validate           skip Stage-2 SMT path validation
+//	-no-prune              disable Stage-1 infeasible-branch pruning
+//	-no-memo               disable Stage-1 (block, state) memoization
 //	-stats                 print engine statistics
 //	-json                  emit machine-readable JSON
 //	-unroll N              loop unroll factor (default 1, the paper's rule)
@@ -35,6 +37,8 @@ func main() {
 	dir := flag.String("dir", "", "analyze every .c file under this directory")
 	noAlias := flag.Bool("no-alias", false, "disable alias analysis (PATA-NA)")
 	noValidate := flag.Bool("no-validate", false, "skip SMT path validation")
+	noPrune := flag.Bool("no-prune", false, "disable Stage-1 on-the-fly infeasible-branch pruning")
+	noMemo := flag.Bool("no-memo", false, "disable Stage-1 (block, state) subtree memoization")
 	stats := flag.Bool("stats", false, "print engine statistics")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	unroll := flag.Int("unroll", 1, "loop unroll factor (paper default 1)")
@@ -46,6 +50,8 @@ func main() {
 	cfg := pata.Config{
 		NoAlias:         *noAlias,
 		SkipValidation:  *noValidate,
+		NoPrune:         *noPrune,
+		NoMemo:          *noMemo,
 		LoopUnroll:      *unroll,
 		Workers:         *workers,
 		ValidateWorkers: *validateWorkers,

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	patabench -exp table4|table5|table6|table7|table8|fig11|fpaudit|cases|fsm|all
+//	patabench -exp table4|table5|table6|table7|table8|fig11|fpaudit|cases|fsm|pruning|all
+//	patabench -exp bench [-bench-out BENCH_pipeline.json]
 package main
 
 import (
@@ -15,7 +16,8 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table4, table5, table6, table7, table8, fig11, fpaudit, extensions, cases, fsm, or all")
+	which := flag.String("exp", "all", "experiment: table4, table5, table6, table7, table8, fig11, fpaudit, extensions, cases, fsm, pruning, bench, or all")
+	benchOut := flag.String("bench-out", "BENCH_pipeline.json", "output path for -exp bench")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -39,4 +41,14 @@ func main() {
 	run("fpaudit", func() error { _, err := exp.FPAudit(os.Stdout); return err })
 	run("extensions", func() error { _, err := exp.Extensions(os.Stdout); return err })
 	run("cases", func() error { _, err := exp.Cases(os.Stdout); return err })
+	run("pruning", func() error { _, err := exp.PruningTable(os.Stdout); return err })
+
+	// bench writes BENCH_pipeline.json, so it only runs when asked for
+	// explicitly, never under -exp all.
+	if *which == "bench" {
+		if err := exp.WriteBenchJSON(os.Stdout, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "patabench: bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

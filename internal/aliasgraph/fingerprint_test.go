@@ -1,0 +1,103 @@
+package aliasgraph
+
+import (
+	"testing"
+
+	"repro/internal/cir"
+)
+
+func fpVars(names ...string) []cir.Value {
+	fn := &cir.Function{Name: "f"}
+	out := make([]cir.Value, len(names))
+	for i, n := range names {
+		out[i] = &cir.Register{ID: i + 1, Name: n, Fn: fn}
+	}
+	return out
+}
+
+// TestFingerprintRollbackRestores checks that Rollback returns the
+// fingerprint (and the node-ID counter) to its pre-checkpoint value, and
+// that replaying the same operations reproduces the same fingerprint — the
+// property the engine's (block, state) memoization relies on across sibling
+// DFS subtrees.
+func TestFingerprintRollbackRestores(t *testing.T) {
+	g := New()
+	vs := fpVars("a", "b", "c")
+	g.Move(vs[1], vs[0])
+
+	base := g.Fingerprint()
+	m := g.Checkpoint()
+	mutate := func() {
+		g.Store(vs[0], vs[2])
+		g.Load(vs[1], vs[0])
+		g.MoveConst(vs[2], cir.IntConst(cir.I64, 7))
+	}
+	mutate()
+	after1 := g.Fingerprint()
+	if after1 == base {
+		t.Fatalf("fingerprint did not change under mutation")
+	}
+	g.Rollback(m)
+	if got := g.Fingerprint(); got != base {
+		t.Fatalf("fingerprint after rollback = %#x, want %#x", got, base)
+	}
+	mutate()
+	if got := g.Fingerprint(); got != after1 {
+		t.Fatalf("replayed mutation fingerprint = %#x, want %#x (node IDs not reproduced?)", got, after1)
+	}
+}
+
+// TestFingerprintDistinguishesGraphs spot-checks that structurally different
+// graphs fingerprint differently.
+func TestFingerprintDistinguishesGraphs(t *testing.T) {
+	vs := fpVars("p", "q", "r")
+
+	build := func(alias bool) uint64 {
+		g := New()
+		g.NodeOf(vs[0])
+		g.NodeOf(vs[1])
+		if alias {
+			g.Move(vs[1], vs[0])
+		}
+		g.Store(vs[0], vs[2])
+		return g.Fingerprint()
+	}
+	if build(true) == build(false) {
+		t.Fatalf("aliased and unaliased graphs share a fingerprint")
+	}
+
+	// Same class memberships, different constant binding.
+	g1, g2 := New(), New()
+	g1.MoveConst(vs[0], cir.IntConst(cir.I64, 1))
+	g2.MoveConst(vs[0], cir.IntConst(cir.I64, 2))
+	if g1.Fingerprint() == g2.Fingerprint() {
+		t.Fatalf("different constant bindings share a fingerprint")
+	}
+
+	// Null vs zero-int constants are distinct facts.
+	g3, g4 := New(), New()
+	g3.MoveConst(vs[0], cir.NullConst(cir.PointerTo(cir.I64)))
+	g4.MoveConst(vs[0], cir.IntConst(cir.I64, 0))
+	if g3.Fingerprint() == g4.Fingerprint() {
+		t.Fatalf("null and integer-zero bindings share a fingerprint")
+	}
+}
+
+// TestFingerprintEmptyNodesInvisible: nodes with no members, edges, or
+// constants contribute no facts, so allocating and abandoning scratch nodes
+// (before rollback) does not perturb the fingerprint.
+func TestFingerprintEmptyNodesInvisible(t *testing.T) {
+	g := New()
+	vs := fpVars("x")
+	g.NodeOf(vs[0])
+	base := g.Fingerprint()
+	m := g.Checkpoint()
+	g.newNode()
+	if got := g.Fingerprint(); got != base {
+		t.Fatalf("empty node changed fingerprint")
+	}
+	g.Rollback(m)
+	if got := g.Fingerprint(); got != base {
+		t.Fatalf("fingerprint after rollback = %#x, want %#x", got, base)
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"repro/internal/aliasgraph"
 	"repro/internal/callgraph"
 	"repro/internal/cir"
+	"repro/internal/hmix"
+	"repro/internal/smt"
 	"repro/internal/typestate"
 )
 
@@ -41,16 +43,18 @@ type Config struct {
 	Mode Mode
 	// MaxCallDepth bounds inlining depth (default 8).
 	MaxCallDepth int
-	// MaxPathsPerEntry bounds complete paths per entry function
-	// (default 4096).
+	// MaxPathsPerEntry bounds complete paths per entry function.
+	// 0 selects the default (4096); any negative value means unlimited.
 	MaxPathsPerEntry int
-	// MaxStepsPerEntry bounds executed instructions per entry function
-	// (default 1,000,000).
+	// MaxStepsPerEntry bounds executed instructions per entry function.
+	// 0 selects the default (1,000,000); any negative value means
+	// unlimited.
 	MaxStepsPerEntry int
 	// MaxContinuationsPerCall bounds how many callee paths continue into
 	// the caller per call-site activation — the paper's P2 "combine the
 	// information of its code paths [at return] to mitigate path
-	// explosion". 0 means unlimited (default 2).
+	// explosion". 0 selects the default (2); any negative value means
+	// unlimited.
 	MaxContinuationsPerCall int
 	// LoopUnroll is how many times an instruction may appear on one path
 	// (default 1, the paper's unroll-each-loop-once rule, §3.1). A value K
@@ -59,6 +63,20 @@ type Config struct {
 	// bugs whose trigger needs several iterations become reachable, at a
 	// path-count cost.
 	LoopUnroll int
+	// NoPrune disables the on-the-fly feasibility pruning: by default the
+	// Stage-1 DFS carries an incremental constraint cursor and skips a
+	// branch subtree as soon as the accumulated path condition becomes
+	// provably unsatisfiable. Pruning only discards paths Stage-2
+	// validation would reject, so the post-validation bug set is
+	// unaffected. Active only in ModePATA and when Trace is nil.
+	NoPrune bool
+	// NoMemo disables the (block, state) memoization: by default the DFS
+	// fingerprints the alias graph, the typestate tracker, the pending
+	// path constraints, and the call stack at every basic-block entry,
+	// and skips subtrees whose configuration repeats an already fully
+	// explored, emission-free one. Active only in ModePATA and when
+	// Trace is nil.
+	NoMemo bool
 	// Validate enables Stage-2 path validation (default true). The
 	// ValidatePath hook is installed by the pathval package (or a custom
 	// validator); when nil, validation is skipped.
@@ -92,6 +110,14 @@ type ValidationOutcome struct {
 	CacheHits   int64
 	CacheMisses int64
 }
+
+// PruneInfeasible reports whether on-the-fly feasibility pruning is
+// requested (on unless NoPrune is set).
+func (c Config) PruneInfeasible() bool { return !c.NoPrune }
+
+// MemoStates reports whether (block, state) memoization is requested (on
+// unless NoMemo is set).
+func (c Config) MemoStates() bool { return !c.NoMemo }
 
 // withDefaults fills zero fields.
 func (c Config) withDefaults() Config {
@@ -168,6 +194,19 @@ type Stats struct {
 	Budgeted           int // entries that hit a path/step budget
 	Typestates         int64
 	TypestatesUnaware  int64
+	// PrunedBranches counts branch directions skipped because the
+	// incremental cursor proved the accumulated path condition
+	// unsatisfiable; each one cuts a whole subtree.
+	PrunedBranches int64
+	// MemoHits counts basic-block entries skipped because their
+	// (block, state) fingerprint repeated an already fully explored,
+	// emission-free configuration. MemoPathsSkipped/MemoStepsSkipped
+	// accumulate the recorded full-exploration cost those hits avoided
+	// (the skipped cost still counts against the entry budgets so a
+	// memoized run degrades no earlier than an unmemoized one).
+	MemoHits         int64
+	MemoPathsSkipped int64
+	MemoStepsSkipped int64
 	PossibleBugs       int64
 	RepeatedDropped    int64
 	FalseDropped       int64
@@ -202,10 +241,26 @@ type Engine struct {
 	g       *aliasgraph.Graph
 	tracker *typestate.Tracker
 
-	path    []PathStep
-	onPath  map[int]int
-	frames  []*frame
-	nextFID int
+	path   []PathStep
+	onPath map[int]int
+	frames []*frame
+
+	// Per-entry pruning/memoization state (nil when the feature is off
+	// for this entry). reach restricts the memo key's loop-counter digest
+	// to instructions the subtree can still visit; recStack holds one
+	// in-progress recording per block entry on the DFS stack, capturing
+	// the subtree's candidate emissions for replay on later hits;
+	// pathsCharged/stepsCharged accumulate the recorded cost of
+	// memo-skipped subtrees, which budgetExceeded adds back so
+	// memoization never stretches an entry's budget beyond what full
+	// exploration would have allowed.
+	pruner       *pruner
+	memo         map[uint64]memoRec
+	reach        *reachSets
+	reachScratch []*blockInfo
+	recStack     []recFrame
+	pathsCharged int64
+	stepsCharged int64
 
 	paths int64
 	steps int64
@@ -219,8 +274,16 @@ type Engine struct {
 }
 
 type frame struct {
-	fn    *cir.Function
-	call  *cir.Call // nil for the entry frame
+	fn   *cir.Function
+	call *cir.Call // nil for the entry frame
+	// fid identifies the activation: it is the frame's depth (1 for the
+	// entry frame). Depth-based ids are reproducible across sibling DFS
+	// subtrees, which the (block, state) memoization requires — a
+	// monotonic counter would make otherwise-identical configurations
+	// hash differently. Reuse across successive same-depth activations
+	// is safe: the ownership props keyed on fids (ML, Pair) are always
+	// consulted through a live-state guard, and OnReturn clears or
+	// transfers every live ownership of the popping frame.
 	fid   int
 	conts int
 }
@@ -315,8 +378,31 @@ func (e *Engine) analyzeEntry(fn *cir.Function) {
 	e.steps = 0
 	e.over = false
 
-	e.nextFID++
-	e.frames = append(e.frames, &frame{fn: fn, fid: e.nextFID})
+	// Pruning and memoization are per-entry: the cursor context and the
+	// memo table restart fresh so symbol numbering and fingerprints
+	// depend only on this entry's exploration (RunParallel's per-worker
+	// engines then behave identically to the sequential engine). Both
+	// features mirror the Stage-2 replayer's ModePATA translation and
+	// are disabled under Trace, which observes every executed
+	// instruction.
+	e.pruner = nil
+	e.memo = nil
+	e.recStack = e.recStack[:0]
+	e.pathsCharged = 0
+	e.stepsCharged = 0
+	if e.Cfg.Mode == ModePATA && e.Cfg.Trace == nil {
+		if e.Cfg.PruneInfeasible() {
+			e.pruner = newPruner()
+		}
+		if e.Cfg.MemoStates() {
+			e.memo = make(map[uint64]memoRec)
+			if e.reach == nil {
+				e.reach = newReachSets(e.Mod)
+			}
+		}
+	}
+
+	e.frames = append(e.frames, &frame{fn: fn, fid: 1})
 	entryBlk := fn.Entry()
 	if entryBlk != nil && len(entryBlk.Instrs) > 0 {
 		e.exec(entryBlk.Instrs[0])
@@ -337,18 +423,162 @@ func (e *Engine) budgetExceeded() bool {
 	if e.over {
 		return true
 	}
-	if e.steps >= int64(e.Cfg.MaxStepsPerEntry) || e.paths >= int64(e.Cfg.MaxPathsPerEntry) {
+	// Negative budgets mean unlimited. The charged counters stand in for
+	// the work memo hits skipped, keeping the budget trip point where an
+	// unmemoized exploration would have hit it.
+	if (e.Cfg.MaxStepsPerEntry > 0 && e.steps+e.stepsCharged >= int64(e.Cfg.MaxStepsPerEntry)) ||
+		(e.Cfg.MaxPathsPerEntry > 0 && e.paths+e.pathsCharged >= int64(e.Cfg.MaxPathsPerEntry)) {
 		e.over = true
 	}
 	return e.over
 }
 
 // exec handles one instruction and continues the DFS (HandleINST of
-// Figure 6). All mutations are rolled back before returning.
+// Figure 6). At basic-block entries it first consults the (block, state)
+// memo: a subtree whose relevant configuration fingerprint — canonical
+// alias graph, typestates, loop counters, call stack — matches an already
+// fully explored one is skipped, its recorded cost is charged against the
+// entry budget, and its recorded candidate emissions are replayed onto the
+// current path prefix, so a hit can never swallow a report.
 func (e *Engine) exec(in cir.Instr) {
 	if e.budgetExceeded() {
 		return
 	}
+	if e.memo != nil {
+		// Only block entries at CFG join points are worth fingerprinting:
+		// distinct DFS routes can converge only there, so memoizing
+		// single-predecessor blocks would pay the canonicalization cost
+		// with no chance of a hit.
+		if blk := in.Block(); blk != nil && len(blk.Instrs) > 0 && blk.Instrs[0] == in && e.reach.isJoin(blk) {
+			key, ok := e.memoKey(in)
+			if !ok {
+				// Some tracked object escaped canonicalization; fall
+				// through to plain execution for this block entry.
+				e.execStep(in)
+				return
+			}
+			if rec, ok := e.memo[key]; ok {
+				e.stats.MemoHits++
+				e.stats.MemoPathsSkipped += rec.paths
+				e.stats.MemoStepsSkipped += rec.steps
+				e.pathsCharged += rec.paths
+				e.stepsCharged += rec.steps
+				for i := range rec.emits {
+					me := &rec.emits[i]
+					e.emitCandidate(me.ci, me.origin, me.bugInstr, me.extra, me.aliasSet, me.suffix)
+				}
+				return
+			}
+			e.recStack = append(e.recStack, recFrame{
+				key:     key,
+				pathLen: len(e.path),
+				paths0:  e.paths + e.pathsCharged,
+				steps0:  e.steps + e.stepsCharged,
+				pruned0: e.stats.PrunedBranches,
+			})
+			e.execStep(in)
+			f := &e.recStack[len(e.recStack)-1]
+			// Record only subtrees that ran to completion (no budget trip)
+			// and had no branch pruned inside them. The latter makes the
+			// record independent of the path constraints accumulated
+			// before this block: a subtree in which nothing was pruned
+			// behaves exactly as unpruned exploration would, so a later
+			// hit under a *different* constraint prefix is still sound —
+			// which is what lets the memo key omit the pruner's
+			// constraint chain entirely. Candidate emissions don't block
+			// recording: they are captured (up to maxMemoEmits) and
+			// replayed on hits.
+			if !f.poisoned && !e.over && e.stats.PrunedBranches == f.pruned0 {
+				e.memo[f.key] = memoRec{
+					paths: e.paths + e.pathsCharged - f.paths0,
+					steps: e.steps + e.stepsCharged - f.steps0,
+					emits: f.emits,
+				}
+			}
+			e.recStack = e.recStack[:len(e.recStack)-1]
+			return
+		}
+	}
+	e.execStep(in)
+}
+
+// memoKey fingerprints the complete configuration that determines the
+// (unpruned) behavior of the subtree rooted at block-entry instruction in:
+// the canonical alias graph, the tracked typestates expressed over canonical
+// node labels, the reachability-restricted loop counters, and the call
+// stack. The incremental Fingerprints cannot serve here — their facts embed
+// allocation-order node IDs, which differ between DFS prefixes that converge
+// on the same logical state. The pruner's constraint chain is deliberately
+// absent: recorded subtrees are constraint-free (see exec), so the key must
+// not distinguish prefixes by their path conditions. Returns ok=false when
+// the configuration cannot be canonicalized (a tracked object is no longer
+// variable-reachable); the caller then skips memoization.
+func (e *Engine) memoKey(in cir.Instr) (uint64, bool) {
+	sets := e.reachScratch[:0]
+	sets = append(sets, e.reach.blockReach(in.Block()))
+	for _, f := range e.frames[1:] {
+		sets = append(sets, e.reach.blockReach(f.call.Block()))
+	}
+	e.reachScratch = sets[:0]
+	relevant := func(v cir.Value) bool {
+		for _, s := range sets {
+			if s.vals[v] {
+				return true
+			}
+		}
+		return false
+	}
+	gd, labels := e.g.CanonState(relevant)
+	td, ok := e.tracker.CanonDigest(labels)
+	if !ok {
+		return 0, false
+	}
+	h := hmix.Mix4(uint64(in.GID()), gd, td, e.onPathDigest(sets))
+	return hmix.Mix2(h, e.framesHash()), true
+}
+
+// onPathDigest hashes the loop-unroll counters the subtree rooted at the
+// current instruction can observe: the counter of any instruction reachable
+// from its block, or reachable once control returns past one of the stacked
+// call sites (sets, as assembled by memoKey). Counters of unreachable
+// ancestors (e.g. the converging arms of a diamond) are excluded — they
+// cannot influence the subtree, and including them would make every
+// configuration unique. XOR-combining keeps the digest independent of map
+// iteration order.
+func (e *Engine) onPathDigest(sets []*blockInfo) uint64 {
+	var h uint64
+	for gid, n := range e.onPath {
+		if n <= 0 {
+			continue
+		}
+		for _, s := range sets {
+			if s.gids[gid] {
+				h ^= hmix.Mix2(uint64(gid), uint64(n))
+				break
+			}
+		}
+	}
+	return h
+}
+
+// framesHash digests the call stack: stack height, each frame's call site,
+// and its consumed continuation budget. The frame's fn and fid are implied
+// by the call site and the depth.
+func (e *Engine) framesHash() uint64 {
+	h := uint64(len(e.frames))
+	for _, f := range e.frames {
+		cg := uint64(0)
+		if f.call != nil {
+			cg = uint64(f.call.GID()) + 1
+		}
+		h = hmix.Mix3(h, cg, uint64(f.conts))
+	}
+	return h
+}
+
+// execStep is the pre-memo body of exec. All mutations are rolled back
+// before returning.
+func (e *Engine) execStep(in cir.Instr) {
 	e.steps++
 	gid := in.GID()
 	if e.onPath[gid] >= e.Cfg.LoopUnroll {
@@ -359,6 +589,10 @@ func (e *Engine) exec(in cir.Instr) {
 	}
 	gm := e.g.Checkpoint()
 	tm := e.tracker.Checkpoint()
+	var pm prunerMark
+	if e.pruner != nil {
+		pm = e.pruner.mark()
+	}
 	if e.onPath[gid] > 0 {
 		// Re-execution (loop unroll > 1): the defined register is a fresh
 		// dynamic instance; detach it from the previous iteration's class.
@@ -381,6 +615,13 @@ func (e *Engine) exec(in cir.Instr) {
 		if e.Cfg.Trace != nil {
 			e.Cfg.Trace(in, e.g)
 		}
+		if e.pruner != nil {
+			// Arithmetic definitions feed the cursor (Table 3 asg rule)
+			// so later branch conditions over derived values can refute.
+			if bin, ok := in.(*cir.BinOp); ok {
+				e.pruner.pushBinOp(e.g, bin)
+			}
+		}
 		e.emitInstr(in)
 		succs := instrSuccessors(in)
 		if len(succs) == 0 {
@@ -392,7 +633,15 @@ func (e *Engine) exec(in cir.Instr) {
 	}
 
 	e.path = e.path[:len(e.path)-1]
-	e.onPath[gid]--
+	// Drop zeroed counters rather than leaving them behind: onPathDigest
+	// iterates this map at every join, so it must stay proportional to the
+	// live DFS stack, not to everything ever executed.
+	if e.onPath[gid]--; e.onPath[gid] == 0 {
+		delete(e.onPath, gid)
+	}
+	if e.pruner != nil {
+		e.pruner.rollback(pm)
+	}
 	e.tracker.Rollback(tm)
 	e.g.Rollback(gm)
 }
@@ -432,6 +681,21 @@ func (e *Engine) execCondBr(br *cir.CondBr) {
 		}
 		gm := e.g.Checkpoint()
 		tm := e.tracker.Checkpoint()
+		var pm prunerMark
+		if e.pruner != nil {
+			// Assert the branch condition for this direction and skip the
+			// whole subtree when the path condition becomes unsatisfiable:
+			// every candidate it could produce carries a path Stage-2
+			// validation would prove infeasible.
+			pm = e.pruner.mark()
+			if e.pruner.pushBranch(e.g, br, taken) == smt.Unsat {
+				e.stats.PrunedBranches++
+				e.pruner.rollback(pm)
+				e.tracker.Rollback(tm)
+				e.g.Rollback(gm)
+				continue
+			}
+		}
 		// Record the direction on the branch step already on the path.
 		e.path[len(e.path)-1].Taken = taken
 		for ci, c := range e.tracker.Checkers {
@@ -440,6 +704,9 @@ func (e *Engine) execCondBr(br *cir.CondBr) {
 			}
 		}
 		e.exec(next)
+		if e.pruner != nil {
+			e.pruner.rollback(pm)
+		}
 		e.tracker.Rollback(tm)
 		e.g.Rollback(gm)
 	}
@@ -482,8 +749,7 @@ func (e *Engine) execCall(call *cir.Call) {
 			}
 		}
 	}
-	e.nextFID++
-	e.frames = append(e.frames, &frame{fn: callee, call: call, fid: e.nextFID})
+	e.frames = append(e.frames, &frame{fn: callee, call: call, fid: len(e.frames) + 1})
 	e.exec(callee.Entry().Instrs[0])
 	e.frames = e.frames[:len(e.frames)-1]
 	e.tracker.Rollback(tm)
@@ -586,23 +852,56 @@ func (e *Engine) emitInstr(in cir.Instr) {
 	}
 }
 
-// bugSink receives bug-state transitions from the tracker, deduplicates by
-// (checker, origin instruction, bug instruction) as the paper's P3 phase
-// does, and snapshots the current path for Stage 2.
+// bugSink receives bug-state transitions from the tracker. It resolves the
+// emission's path-independent ingredients (origin, alias set) and hands off
+// to emitCandidate, which deduplicates and snapshots the path.
 func (e *Engine) bugSink(ci int, em typestate.Emission, from typestate.State) {
 	origin := int(e.tracker.PropOf(ci, em.Obj, "__origin"))
+	var aliasSet []string
 	key := dedupKey{checker: ci, origin: origin, bug: em.Instr.GID()}
+	if _, dup := e.dedup[key]; !dup {
+		aliasSet = e.g.AccessPaths(em.Obj, 2)
+		if len(aliasSet) > 8 {
+			aliasSet = aliasSet[:8]
+		}
+	}
+	e.emitCandidate(ci, origin, em.Instr, em.Extra, aliasSet, nil)
+}
+
+// emitCandidate deduplicates one candidate emission by (checker, origin
+// instruction, bug instruction) as the paper's P3 phase does, and snapshots
+// the path for Stage 2. The emission's path is the current path plus tail
+// (tail is non-empty when replaying a memoized subtree's emission: the
+// recorded suffix grafted onto the live prefix). While memo recordings are
+// active, the emission is also captured into each open recording frame,
+// expressed relative to that frame's own memo point.
+func (e *Engine) emitCandidate(ci, origin int, bugInstr cir.Instr, extra *typestate.ExtraConstraint, aliasSet []string, tail []PathStep) {
+	full := make([]PathStep, 0, len(e.path)+len(tail))
+	full = append(append(full, e.path...), tail...)
+	for i := range e.recStack {
+		f := &e.recStack[i]
+		if f.poisoned {
+			continue
+		}
+		if len(f.emits) >= maxMemoEmits {
+			f.poisoned = true
+			continue
+		}
+		suffix := make([]PathStep, len(full)-f.pathLen)
+		copy(suffix, full[f.pathLen:])
+		f.emits = append(f.emits, memoEmit{
+			ci: ci, origin: origin, bugInstr: bugInstr,
+			extra: extra, aliasSet: aliasSet, suffix: suffix,
+		})
+	}
+	key := dedupKey{checker: ci, origin: origin, bug: bugInstr.GID()}
 	if prev, dup := e.dedup[key]; dup {
 		e.stats.RepeatedDropped++
 		if len(prev.AltPaths) < maxAltPaths {
-			alt := make([]PathStep, len(e.path))
-			copy(alt, e.path)
-			prev.AltPaths = append(prev.AltPaths, alt)
+			prev.AltPaths = append(prev.AltPaths, full)
 		}
 		return
 	}
-	snapshot := make([]PathStep, len(e.path))
-	copy(snapshot, e.path)
 	entry := ""
 	cat := ""
 	if len(e.frames) > 0 {
@@ -610,24 +909,20 @@ func (e *Engine) bugSink(ci int, em typestate.Emission, from typestate.State) {
 		cat = e.frames[0].fn.Category
 	}
 	inFn := entry
-	if blk := em.Instr.Block(); blk != nil && blk.Fn != nil {
+	if blk := bugInstr.Block(); blk != nil && blk.Fn != nil {
 		inFn = blk.Fn.Name
 		if blk.Fn.Category != "" {
 			cat = blk.Fn.Category
 		}
 	}
 	chk := e.tracker.Checkers[ci]
-	aliasSet := e.g.AccessPaths(em.Obj, 2)
-	if len(aliasSet) > 8 {
-		aliasSet = aliasSet[:8]
-	}
 	pb := &PossibleBug{
 		Checker:   chk,
 		Type:      chk.Type(),
-		BugInstr:  em.Instr,
+		BugInstr:  bugInstr,
 		OriginGID: origin,
-		Path:      snapshot,
-		Extra:     em.Extra,
+		Path:      full,
+		Extra:     extra,
 		EntryFn:   entry,
 		InFn:      inFn,
 		Category:  cat,

@@ -118,9 +118,12 @@ static int mcde_dsi_bind(struct mcde_dsi *d) {
 }
 
 func TestNPDInfeasiblePathDropped(t *testing.T) {
-	// The Figure 9 pattern: the "bug" needs p->f == 0 and t->f != 0 with
-	// t == p — infeasible; alias-aware validation must drop it.
-	res := run(t, core.Config{}, map[string]string{"a.c": `
+	// The Figure 9 pattern: the "bug" needs q != 0 and q == 0 on one path —
+	// infeasible. With the default on-the-fly pruning the contradictory
+	// branch is cut during Stage 1; with pruning disabled the candidate
+	// reaches Stage 2 and alias-aware validation must drop it. Either way
+	// no line-10 bug may survive.
+	src := map[string]string{"a.c": `
 struct s { int f; };
 void func(struct s *p, char *q) {
 	struct s *t;
@@ -131,7 +134,18 @@ void func(struct s *p, char *q) {
 		if (q == 0)
 			use(*q);        /* line 10: only reachable when q != 0 AND q == 0 */
 	}
-}`})
+}`}
+	res := run(t, core.Config{}, src)
+	for _, b := range res.Bugs {
+		if b.BugInstr.Position().Line == 10 {
+			t.Errorf("infeasible-path bug at line 10 survived (pruning on)")
+		}
+	}
+	if res.Stats.PrunedBranches == 0 {
+		t.Errorf("expected the contradictory branch to be pruned, stats: %+v", res.Stats)
+	}
+
+	res = run(t, core.Config{NoPrune: true, NoMemo: true}, src)
 	for _, b := range res.Bugs {
 		if b.BugInstr.Position().Line == 10 {
 			t.Errorf("infeasible-path bug at line 10 survived validation")

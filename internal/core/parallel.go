@@ -93,6 +93,10 @@ func (e *Engine) runEntryDelta(fn *cir.Function) *Result {
 	res.Stats.PathsExplored = e.stats.PathsExplored - prev.PathsExplored
 	res.Stats.StepsExecuted = e.stats.StepsExecuted - prev.StepsExecuted
 	res.Stats.Budgeted = e.stats.Budgeted - prev.Budgeted
+	res.Stats.PrunedBranches = e.stats.PrunedBranches - prev.PrunedBranches
+	res.Stats.MemoHits = e.stats.MemoHits - prev.MemoHits
+	res.Stats.MemoPathsSkipped = e.stats.MemoPathsSkipped - prev.MemoPathsSkipped
+	res.Stats.MemoStepsSkipped = e.stats.MemoStepsSkipped - prev.MemoStepsSkipped
 	res.Stats.RepeatedDropped = e.stats.RepeatedDropped - prev.RepeatedDropped
 	res.Stats.Typestates = trk.Transitions - prevTrk.Transitions
 	res.Stats.TypestatesUnaware = trk.TransitionsUnaware - prevTrk.TransitionsUnaware
@@ -248,6 +252,10 @@ func RunParallel(mod *cir.Module, cfg Config, workers int) *Result {
 				s.PathsExplored += r.Stats.PathsExplored
 				s.StepsExecuted += r.Stats.StepsExecuted
 				s.Budgeted += r.Stats.Budgeted
+				s.PrunedBranches += r.Stats.PrunedBranches
+				s.MemoHits += r.Stats.MemoHits
+				s.MemoPathsSkipped += r.Stats.MemoPathsSkipped
+				s.MemoStepsSkipped += r.Stats.MemoStepsSkipped
 				s.Typestates += r.Stats.Typestates
 				s.TypestatesUnaware += r.Stats.TypestatesUnaware
 				s.RepeatedDropped += r.Stats.RepeatedDropped

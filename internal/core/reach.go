@@ -1,0 +1,168 @@
+package core
+
+import (
+	"repro/internal/cir"
+)
+
+// reachSets lazily computes, per basic block, two views of what the DFS can
+// still visit from that block's start: the set of instruction GIDs
+// (everything CFG-reachable inside the enclosing function plus the full
+// bodies of all transitively callable defined functions), and the set of
+// values those instructions use. Both over-approximate (they ignore the
+// runtime depth/unroll limits and include instructions before the current
+// one in its block), which is the sound direction for their only consumer,
+// the memo key: a larger set can only make two configurations hash
+// differently and cost a memo hit, never produce a false one.
+//
+// The point of the GID restriction: the loop-unroll counters (Engine.onPath)
+// cover every instruction on the DFS stack, so hashing all of them would
+// make the memo key unique per path — the counters of ancestors a subtree
+// cannot revisit (e.g. the two arms feeding a diamond join) must be
+// excluded for repeated configurations to be recognized at all.
+//
+// The point of the value restriction: alias-graph and tracker facts about
+// values no reachable instruction uses (dead condition registers, spent
+// temporaries) cannot influence the subtree, but they differ between the
+// routes into a join — digesting them would likewise make the key unique
+// per path. Values enter the set through Operands(); additionally, for a
+// reachable CondBr whose condition is a compare, the compare's operands are
+// included even when the compare itself sits in an ancestor block, because
+// the engine and the checkers' OnBranch hooks read them through Def at the
+// branch.
+type reachSets struct {
+	mod *cir.Module
+	// closure maps a function to the set of defined functions reachable
+	// from it through calls (including itself).
+	closure map[*cir.Function]map[*cir.Function]bool
+	// block maps a basic block to its reachability info.
+	block map[*cir.Block]*blockInfo
+	// joins caches, per function, the blocks with at least two CFG
+	// predecessors. Only there can two distinct DFS routes converge on the
+	// same block, so only there is the memo key worth computing — a
+	// single-predecessor block repeats exactly when its predecessor does,
+	// and the call stack is part of the key, so callee entry blocks reached
+	// from different sites never collide either.
+	joins map[*cir.Function]map[*cir.Block]bool
+}
+
+// blockInfo is the cached reachability of one block's start.
+type blockInfo struct {
+	gids map[int]bool
+	vals map[cir.Value]bool
+}
+
+func newReachSets(mod *cir.Module) *reachSets {
+	return &reachSets{
+		mod:     mod,
+		closure: make(map[*cir.Function]map[*cir.Function]bool),
+		block:   make(map[*cir.Block]*blockInfo),
+		joins:   make(map[*cir.Function]map[*cir.Block]bool),
+	}
+}
+
+// isJoin reports whether blk has two or more CFG predecessors.
+func (r *reachSets) isJoin(blk *cir.Block) bool {
+	fn := blk.Fn
+	if fn == nil {
+		return false
+	}
+	js, ok := r.joins[fn]
+	if !ok {
+		preds := make(map[*cir.Block]int, len(fn.Blocks))
+		for _, b := range fn.Blocks {
+			for _, succ := range b.Succs() {
+				preds[succ]++
+			}
+		}
+		js = make(map[*cir.Block]bool)
+		for b, n := range preds {
+			if n >= 2 {
+				js[b] = true
+			}
+		}
+		r.joins[fn] = js
+	}
+	return js[blk]
+}
+
+// funcClosure returns the defined functions reachable from fn via calls.
+func (r *reachSets) funcClosure(fn *cir.Function) map[*cir.Function]bool {
+	if s, ok := r.closure[fn]; ok {
+		return s
+	}
+	s := make(map[*cir.Function]bool)
+	r.closure[fn] = s // placed before the walk so call cycles terminate
+	var walk func(f *cir.Function)
+	walk = func(f *cir.Function) {
+		if s[f] {
+			return
+		}
+		s[f] = true
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				call, ok := in.(*cir.Call)
+				if !ok {
+					continue
+				}
+				if callee := r.mod.Funcs[call.Callee]; callee != nil && !callee.IsDecl() {
+					walk(callee)
+				}
+			}
+		}
+	}
+	walk(fn)
+	return s
+}
+
+// addInstr records one reachable instruction into the info sets.
+func (bi *blockInfo) addInstr(in cir.Instr) {
+	bi.gids[in.GID()] = true
+	for _, v := range in.Operands() {
+		bi.vals[v] = true
+	}
+	if br, ok := in.(*cir.CondBr); ok {
+		if reg, ok := br.Cond.(*cir.Register); ok && reg.Def != nil {
+			if cmp, ok := reg.Def.(*cir.Cmp); ok {
+				bi.vals[cmp.X] = true
+				bi.vals[cmp.Y] = true
+			}
+		}
+	}
+}
+
+// blockReach returns the reachability info from blk's start.
+func (r *reachSets) blockReach(blk *cir.Block) *blockInfo {
+	if s, ok := r.block[blk]; ok {
+		return s
+	}
+	bi := &blockInfo{gids: make(map[int]bool), vals: make(map[cir.Value]bool)}
+	r.block[blk] = bi
+	// Intra-function CFG walk from blk.
+	seen := map[*cir.Block]bool{}
+	var walk func(b *cir.Block)
+	walk = func(b *cir.Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, in := range b.Instrs {
+			bi.addInstr(in)
+			if call, ok := in.(*cir.Call); ok {
+				if callee := r.mod.Funcs[call.Callee]; callee != nil && !callee.IsDecl() {
+					for f := range r.funcClosure(callee) {
+						for _, fb := range f.Blocks {
+							for _, fi := range fb.Instrs {
+								bi.addInstr(fi)
+							}
+						}
+					}
+				}
+			}
+		}
+		for _, succ := range b.Succs() {
+			walk(succ)
+		}
+	}
+	walk(blk)
+	return bi
+}

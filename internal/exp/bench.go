@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// BenchEntry is one cell of the pipeline benchmark grid: one corpus, one
+// engine variant, one Stage-1 worker count.
+type BenchEntry struct {
+	OS               string  `json:"os"`
+	Variant          string  `json:"variant"` // "defaults" or "no-prune-no-memo"
+	Workers          int     `json:"workers"`
+	WallClockMS      float64 `json:"wall_clock_ms"`
+	PathsExplored    int64   `json:"paths_explored"`
+	StepsExecuted    int64   `json:"steps_executed"`
+	PrunedBranches   int64   `json:"pruned_branches"`
+	MemoHits         int64   `json:"memo_hits"`
+	MemoPathsSkipped int64   `json:"memo_paths_skipped"`
+	MemoStepsSkipped int64   `json:"memo_steps_skipped"`
+	Bugs             int     `json:"bugs"`
+}
+
+// BenchReport is the schema of BENCH_pipeline.json: the full grid plus the
+// aggregate reductions the pruning layers buy. Wall-clock values are
+// machine-dependent; the path/step counters are deterministic.
+type BenchReport struct {
+	Workload          string       `json:"workload"`
+	Entries           []BenchEntry `json:"entries"`
+	PathsReductionPct float64      `json:"paths_reduction_pct"`
+	StepsReductionPct float64      `json:"steps_reduction_pct"`
+}
+
+// BenchPipeline runs the full two-stage pipeline over every corpus at
+// Stage-1 workers ∈ {1, 4}, once with the default engine (incremental
+// feasibility pruning + (block, state) memoization) and once with both
+// disabled, and collects wall-clock plus the pruning counters. The bug sets
+// of the two variants are identical by construction (the equivalence test
+// asserts it); only the explored work differs.
+func BenchPipeline(w io.Writer) (*BenchReport, error) {
+	rep := &BenchReport{Workload: "oscorpus"}
+	var pOn, pOff, sOn, sOff int64
+	for _, c := range Corpora() {
+		for _, workers := range []int{1, 4} {
+			for _, variant := range []string{"defaults", "no-prune-no-memo"} {
+				cfg := PATAConfig()
+				if variant != "defaults" {
+					cfg.NoPrune = true
+					cfg.NoMemo = true
+				}
+				run, err := RunPATAPipelined(c, cfg, "pata-bench", workers)
+				if err != nil {
+					return nil, err
+				}
+				rep.Entries = append(rep.Entries, BenchEntry{
+					OS:               c.Spec.Name,
+					Variant:          variant,
+					Workers:          workers,
+					WallClockMS:      float64(run.Elapsed.Microseconds()) / 1000,
+					PathsExplored:    run.Stats.PathsExplored,
+					StepsExecuted:    run.Stats.StepsExecuted,
+					PrunedBranches:   run.Stats.PrunedBranches,
+					MemoHits:         run.Stats.MemoHits,
+					MemoPathsSkipped: run.Stats.MemoPathsSkipped,
+					MemoStepsSkipped: run.Stats.MemoStepsSkipped,
+					Bugs:             len(run.Reports),
+				})
+				if workers == 1 {
+					if variant == "defaults" {
+						pOn += run.Stats.PathsExplored
+						sOn += run.Stats.StepsExecuted
+					} else {
+						pOff += run.Stats.PathsExplored
+						sOff += run.Stats.StepsExecuted
+					}
+				}
+			}
+		}
+	}
+	if pOff > 0 {
+		rep.PathsReductionPct = 100 * float64(pOff-pOn) / float64(pOff)
+	}
+	if sOff > 0 {
+		rep.StepsReductionPct = 100 * float64(sOff-sOn) / float64(sOff)
+	}
+	if w != nil {
+		fmt.Fprintf(w, "pipeline bench: %.1f%% fewer paths, %.1f%% fewer steps with pruning+memo on (workers=1)\n",
+			rep.PathsReductionPct, rep.StepsReductionPct)
+	}
+	return rep, nil
+}
+
+// WriteBenchJSON runs BenchPipeline and writes the report to path
+// (conventionally BENCH_pipeline.json at the repo root).
+func WriteBenchJSON(w io.Writer, path string) error {
+	rep, err := BenchPipeline(w)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if w != nil {
+		fmt.Fprintf(w, "wrote %s (%d entries)\n", path, len(rep.Entries))
+	}
+	return nil
+}

@@ -491,6 +491,60 @@ var fillerShapes = []func(tc *templateCtx){
 		f.w("}")
 		f.blank()
 	},
+	func(tc *templateCtx) { // option-flag cascade: 2^6 routes converge on
+		// changed ∈ {0,1}; the kernel's module-param / feature-bit apply
+		// pattern. Path-insensitive in outcome, exponential in routes —
+		// state memoization collapses it.
+		f := tc.f
+		n := tc.id("cfg_apply")
+		f.w("static int %s(int flags) {", n)
+		f.w("\tint changed = 0;")
+		for bit := 1; bit <= 32; bit *= 2 {
+			f.w("\tif (flags & %d)", bit)
+			f.w("\t\tchanged = 1;")
+		}
+		f.w("\tif (changed)")
+		f.w("\t\tcfg_commit(flags);")
+		f.w("\treturn changed;")
+		f.w("}")
+		f.blank()
+	},
+	func(tc *templateCtx) { // exclusive mode ladder: the guards are
+		// mutually exclusive, so all but one of the 2^5 branch
+		// combinations are infeasible — constraint-aware pruning kills
+		// each contradictory arm at the fork.
+		f := tc.f
+		n := tc.id("set_policy")
+		f.w("static int %s(int mode) {", n)
+		f.w("\tint rc = -22;")
+		for i := 0; i < 5; i++ {
+			f.w("\tif (mode == %d)", i)
+			f.w("\t\trc = %d;", i*8)
+		}
+		f.w("\treturn rc;")
+		f.w("}")
+		f.blank()
+	},
+	func(tc *templateCtx) { // compiled-in config level: every guard folds
+		// to a constant verdict, leaving a single feasible route through
+		// 2^4 syntactic paths — the Kconfig-constant pattern.
+		f := tc.f
+		n := tc.id("init_caps")
+		f.w("static int %s(int base) {", n)
+		f.w("\tint level = 2;")
+		f.w("\tint caps = 0;")
+		f.w("\tif (level == 0)")
+		f.w("\t\tcaps = -1;")
+		f.w("\tif (level > 1)")
+		f.w("\t\tcaps = caps | 2;")
+		f.w("\tif (level > 3)")
+		f.w("\t\tcaps = caps | 4;")
+		f.w("\tif (level == 2)")
+		f.w("\t\treg_write(base, caps);")
+		f.w("\treturn caps;")
+		f.w("}")
+		f.blank()
+	},
 }
 
 // trapDLNonlinear: a double lock under a never-true non-linear guard —

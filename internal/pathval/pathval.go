@@ -109,6 +109,15 @@ func (v *Validator) Validate(bug *core.PossibleBug, mode core.Mode) core.Validat
 	return out
 }
 
+// FeasibleVerdict maps a solver result to the validator's keep/drop
+// decision: only a proven-unsatisfiable path is infeasible. Sat keeps the
+// bug, and so does Unknown — which the solver also returns when the DNF
+// expansion of a path's constraint system hits its clause cap and is
+// truncated; a truncated system proves nothing, so dropping on it would be
+// unsound for a bug finder. The Stage-1 pruner relies on the same
+// asymmetry from the other side: it skips a branch only on Unsat.
+func FeasibleVerdict(res smt.Result) bool { return res != smt.Unsat }
+
 func (v *Validator) validateOne(bug *core.PossibleBug, path []core.PathStep, mode core.Mode) core.ValidationOutcome {
 	atomic.AddInt64(&v.Queries, 1)
 	r := &replayer{
@@ -130,9 +139,7 @@ func (v *Validator) validateOne(bug *core.PossibleBug, path []core.PathStep, mod
 		atomic.AddInt64(&v.Unknown, 1)
 	}
 	out := core.ValidationOutcome{
-		// Only a proven-unsatisfiable path is infeasible; Sat and Unknown
-		// keep the bug (conservative for a bug finder).
-		Feasible:           res != smt.Unsat,
+		Feasible:           FeasibleVerdict(res),
 		Constraints:        int64(len(r.atoms)),
 		ConstraintsUnaware: r.unaware,
 		Trigger:            r.triggerValues(model),

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/minicc"
+	"repro/internal/smt"
 	"repro/internal/typestate"
 )
 
@@ -18,7 +19,10 @@ func analyze(t *testing.T, src string, mode core.Mode) ([]*core.PossibleBug, *Va
 	if err != nil {
 		t.Fatalf("lower: %v", err)
 	}
-	eng := core.NewEngine(mod, core.Config{Mode: mode})
+	// These tests feed deliberately infeasible candidates to the Stage-2
+	// validator; the engine's default on-the-fly pruning would cut them
+	// during Stage 1, so it is disabled here.
+	eng := core.NewEngine(mod, core.Config{Mode: mode, NoPrune: true, NoMemo: true})
 	res := eng.Run()
 	return res.Possible, New()
 }
@@ -347,6 +351,21 @@ void func(char *p) {
 				t.Error("validator CacheHits counter not incremented")
 			}
 		})
+	}
+}
+
+func TestFeasibleVerdictConservative(t *testing.T) {
+	// Only a proven Unsat drops a candidate. Unknown — which the solver
+	// also returns for constraint systems whose DNF expansion was truncated
+	// at the clause cap — must keep it: a truncated system proves nothing.
+	if FeasibleVerdict(smt.Unsat) {
+		t.Error("Unsat must be infeasible")
+	}
+	if !FeasibleVerdict(smt.Sat) {
+		t.Error("Sat must be feasible")
+	}
+	if !FeasibleVerdict(smt.Unknown) {
+		t.Error("Unknown (e.g. truncated DNF) must stay feasible")
 	}
 }
 

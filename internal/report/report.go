@@ -74,6 +74,9 @@ func WriteStats(w io.Writer, st core.Stats) {
 	fmt.Fprintf(w, "  steps executed:      %d\n", st.StepsExecuted)
 	fmt.Fprintf(w, "  typestates:          %d (unaware: %d)\n", st.Typestates, st.TypestatesUnaware)
 	fmt.Fprintf(w, "  SMT constraints:     %d (unaware: %d)\n", st.Constraints, st.ConstraintsUnaware)
+	fmt.Fprintf(w, "  pruned branches:     %d\n", st.PrunedBranches)
+	fmt.Fprintf(w, "  memo hits:           %d (paths skipped: %d, steps skipped: %d)\n",
+		st.MemoHits, st.MemoPathsSkipped, st.MemoStepsSkipped)
 	fmt.Fprintf(w, "  repeated dropped:    %d\n", st.RepeatedDropped)
 	fmt.Fprintf(w, "  false dropped:       %d\n", st.FalseDropped)
 	fmt.Fprintf(w, "  verdict cache:       %d hits, %d misses\n",

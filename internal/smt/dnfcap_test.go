@@ -1,0 +1,76 @@
+package smt
+
+import "testing"
+
+// TestDNFClauseCapOverflowFlag exercises the MaxCubes truncation paths in
+// Solver.dnf and asserts the overflow flag is surfaced.
+func TestDNFClauseCapOverflowFlag(t *testing.T) {
+	ctx := NewContext()
+	s := NewSolver(ctx)
+	s.MaxCubes = 3
+	x := ctx.Var("x")
+
+	var ors []Formula
+	for i := int64(0); i < 8; i++ {
+		ors = append(ors, Eq(x, Int(i)))
+	}
+	cubes, overflow := s.dnf(nnf(Or(ors...), false), s.MaxCubes)
+	if !overflow {
+		t.Fatalf("8-way disjunction under cap 3: overflow flag not set")
+	}
+	if len(cubes) > s.MaxCubes {
+		t.Fatalf("cap not applied: got %d cubes, cap %d", len(cubes), s.MaxCubes)
+	}
+
+	// The AndF distribution path: (a1|a2|a3) & (b1|b2|b3) = 9 cubes > 3.
+	y := ctx.Var("y")
+	f := And(
+		Or(Eq(x, Int(1)), Eq(x, Int(2)), Eq(x, Int(3))),
+		Or(Eq(y, Int(1)), Eq(y, Int(2)), Eq(y, Int(3))),
+	)
+	cubes, overflow = s.dnf(nnf(f, false), s.MaxCubes)
+	if !overflow {
+		t.Fatalf("9-cube conjunction under cap 3: overflow flag not set")
+	}
+	if len(cubes) > s.MaxCubes {
+		t.Fatalf("cap not applied on AndF path: got %d cubes", len(cubes))
+	}
+
+	// No overflow within the cap.
+	if _, overflow = s.dnf(nnf(Or(ors[:2]...), false), s.MaxCubes); overflow {
+		t.Fatalf("2-way disjunction under cap 3: spurious overflow")
+	}
+}
+
+// TestDNFClauseCapConservative checks the verdict contract under truncation:
+// a formula whose only satisfiable cubes fall beyond the cap must come back
+// Unknown, never Unsat — downstream (the path validator) treats anything but
+// a proven Unsat as feasible, so truncation can widen the bug set but never
+// drop a bug.
+func TestDNFClauseCapConservative(t *testing.T) {
+	ctx := NewContext()
+	s := NewSolver(ctx)
+	s.MaxCubes = 3
+	x := ctx.Var("x")
+
+	// x >= 100 & (x==0 | x==1 | x==2 | x==3 | x==200): only the 5th cube is
+	// satisfiable. The nested disjunction expands left-to-right, so with
+	// MaxCubes=3 the satisfiable cube is truncated away.
+	f := And(
+		Ge(x, Int(100)),
+		Or(Eq(x, Int(0)), Eq(x, Int(1)), Eq(x, Int(2)), Eq(x, Int(3)), Eq(x, Int(200))),
+	)
+	got := s.Solve(f)
+	if got == Unsat {
+		t.Fatalf("truncated DNF answered Unsat; must be Unknown (or Sat), got %v", got)
+	}
+	if got != Unknown {
+		t.Fatalf("expected Unknown under truncation, got %v", got)
+	}
+
+	// Sanity: without the cap the same formula is Sat.
+	s2 := NewSolver(ctx)
+	if got := s2.Solve(f); got != Sat {
+		t.Fatalf("uncapped solve: got %v, want Sat", got)
+	}
+}

@@ -44,7 +44,12 @@ func (l *lin) vars() []int {
 
 // linearize converts a term to a linear expression, delegating non-linear
 // subterms to interned opaque variables.
-func (s *conjSolver) linearize(t Term) *lin {
+func (s *conjSolver) linearize(t Term) *lin { return linearizeTerm(s.ctx, t) }
+
+// linearizeTerm is the shared translation used by both the batch conjSolver
+// and the incremental Cursor; both must intern opaque subterms through the
+// same Context so that identical non-linear terms map to the same variable.
+func linearizeTerm(ctx *Context, t Term) *lin {
 	out := newLin()
 	switch tt := t.(type) {
 	case *IntLit:
@@ -52,8 +57,8 @@ func (s *conjSolver) linearize(t Term) *lin {
 	case *Var:
 		out.addVar(int64(tt.ID), 1)
 	case *BinTerm:
-		x := s.linearize(tt.X)
-		y := s.linearize(tt.Y)
+		x := linearizeTerm(ctx, tt.X)
+		y := linearizeTerm(ctx, tt.Y)
 		switch tt.Op {
 		case "+":
 			out.add(x, 1)
@@ -68,25 +73,25 @@ func (s *conjSolver) linearize(t Term) *lin {
 			case y.isConst():
 				out.add(x, y.k)
 			default:
-				out.addVar(int64(s.ctx.OpaqueFor(t).ID), 1)
+				out.addVar(int64(ctx.OpaqueFor(t).ID), 1)
 			}
 		case "/":
 			if x.isConst() && y.isConst() && y.k != 0 {
 				out.k = x.k / y.k
 			} else {
-				out.addVar(int64(s.ctx.OpaqueFor(t).ID), 1)
+				out.addVar(int64(ctx.OpaqueFor(t).ID), 1)
 			}
 		case "%":
 			if x.isConst() && y.isConst() && y.k != 0 {
 				out.k = x.k % y.k
 			} else {
-				out.addVar(int64(s.ctx.OpaqueFor(t).ID), 1)
+				out.addVar(int64(ctx.OpaqueFor(t).ID), 1)
 			}
 		default: // bitwise and shifts: constant-fold or opaque
 			if x.isConst() && y.isConst() {
 				out.k = foldBits(tt.Op, x.k, y.k)
 			} else {
-				out.addVar(int64(s.ctx.OpaqueFor(t).ID), 1)
+				out.addVar(int64(ctx.OpaqueFor(t).ID), 1)
 			}
 		}
 	}

@@ -1,0 +1,72 @@
+package typestate
+
+import (
+	"testing"
+
+	"repro/internal/aliasgraph"
+	"repro/internal/cir"
+)
+
+// TestTrackerFingerprintRollback checks that state and property changes move
+// the fingerprint and that Rollback restores it exactly, including the
+// overwrite cases (state→state, prop value→value).
+func TestTrackerFingerprintRollback(t *testing.T) {
+	g := aliasgraph.New()
+	fn := &cir.Function{Name: "f"}
+	p := &cir.Register{ID: 1, Name: "p", Fn: fn}
+	q := &cir.Register{ID: 2, Name: "q", Fn: fn}
+	obj1, obj2 := g.NodeOf(p), g.NodeOf(q)
+
+	trk := NewTracker([]Checker{NewNPD()}, nil)
+	base := trk.Fingerprint()
+
+	m := trk.Checkpoint()
+	mutate := func() {
+		trk.setState(0, obj1, "S_N")
+		trk.SetProp(0, obj1, "k", 7)
+		trk.SetProp(0, obj1, "k", 9) // overwrite
+		trk.setState(0, obj2, "S_N")
+		trk.setState(0, obj2, "S_U") // state overwrite
+	}
+	mutate()
+	after := trk.Fingerprint()
+	if after == base {
+		t.Fatalf("fingerprint unchanged by state/prop writes")
+	}
+	trk.Rollback(m)
+	if got := trk.Fingerprint(); got != base {
+		t.Fatalf("fingerprint after rollback = %#x, want %#x", got, base)
+	}
+	mutate()
+	if got := trk.Fingerprint(); got != after {
+		t.Fatalf("replayed mutation fingerprint = %#x, want %#x", got, after)
+	}
+}
+
+// TestTrackerFingerprintDistinguishes spot-checks that different states,
+// different objects, and different property values fingerprint differently.
+func TestTrackerFingerprintDistinguishes(t *testing.T) {
+	g := aliasgraph.New()
+	fn := &cir.Function{Name: "f"}
+	p := &cir.Register{ID: 1, Name: "p", Fn: fn}
+	obj := g.NodeOf(p)
+
+	mk := func(build func(trk *Tracker)) uint64 {
+		trk := NewTracker([]Checker{NewNPD()}, nil)
+		build(trk)
+		return trk.Fingerprint()
+	}
+	a := mk(func(trk *Tracker) { trk.setState(0, obj, "S_N") })
+	b := mk(func(trk *Tracker) { trk.setState(0, obj, "S_U") })
+	c := mk(func(trk *Tracker) { trk.SetProp(0, obj, "k", 1) })
+	d := mk(func(trk *Tracker) { trk.SetProp(0, obj, "k", 2) })
+	if a == b {
+		t.Fatalf("different states share a fingerprint")
+	}
+	if c == d {
+		t.Fatalf("different property values share a fingerprint")
+	}
+	if a == c {
+		t.Fatalf("state fact and prop fact collide")
+	}
+}

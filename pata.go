@@ -49,6 +49,15 @@ type Config struct {
 	// SkipValidation disables Stage 2 (possible bugs are reported
 	// unfiltered).
 	SkipValidation bool
+	// NoPrune disables the Stage-1 on-the-fly feasibility pruning
+	// (default on): without it, provably contradictory branch subtrees
+	// are explored and their candidates are left for Stage-2 validation
+	// to drop.
+	NoPrune bool
+	// NoMemo disables the Stage-1 (block, state) memoization (default
+	// on): without it, repeated identical basic-block configurations are
+	// re-explored.
+	NoMemo bool
 	// MaxCallDepth bounds interprocedural inlining (default 8).
 	MaxCallDepth int
 	// MaxPathsPerEntry bounds path enumeration per entry function
@@ -160,6 +169,8 @@ func (c Config) engineConfig() (core.Config, error) {
 		MaxContinuationsPerCall: c.MaxContinuationsPerCall,
 		LoopUnroll:              c.LoopUnroll,
 		ValidateWorkers:         c.ValidateWorkers,
+		NoPrune:                 c.NoPrune,
+		NoMemo:                  c.NoMemo,
 	}
 	if c.NoAlias {
 		ec.Mode = core.ModeNoAlias

@@ -92,11 +92,14 @@ void func(char *p) {
 			use(*p);
 	}
 }`}
-	validated, err := AnalyzeSources("m", src, Config{})
+	// The dead x==5 branch is exactly what the default on-the-fly pruning
+	// removes during Stage 1; disable it so the candidate reaches (or
+	// skips) Stage-2 validation, which is what this test exercises.
+	validated, err := AnalyzeSources("m", src, Config{NoPrune: true, NoMemo: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw, err := AnalyzeSources("m", src, Config{SkipValidation: true})
+	raw, err := AnalyzeSources("m", src, Config{SkipValidation: true, NoPrune: true, NoMemo: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +173,7 @@ void func(char *p) {
 	}
 	if (!p)
 		use(*p);
-}`}, Config{})
+}`}, Config{NoPrune: true, NoMemo: true})
 	if err != nil {
 		t.Fatal(err)
 	}
