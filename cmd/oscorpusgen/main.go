@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	oscorpusgen -os linux|zephyr|riot|tencent -out DIR [-truth]
+//	oscorpusgen -os linux|zephyr|riot|tencent|helper-heavy -out DIR [-truth]
 package main
 
 import (
@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	osName := flag.String("os", "linux", "which corpus: linux, zephyr, riot, tencent")
+	osName := flag.String("os", "linux", "which corpus: linux, zephyr, riot, tencent, helper-heavy")
 	out := flag.String("out", "", "output directory (required)")
 	truth := flag.Bool("truth", false, "also write ground-truth.txt")
 	flag.Parse()
@@ -35,6 +35,8 @@ func main() {
 		spec = oscorpus.RIOTSpec()
 	case "tencent":
 		spec = oscorpus.TencentSpec()
+	case "helper-heavy":
+		spec = oscorpus.HelperHeavySpec()
 	default:
 		fmt.Fprintf(os.Stderr, "oscorpusgen: unknown OS %q\n", *osName)
 		os.Exit(2)

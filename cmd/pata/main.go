@@ -14,11 +14,15 @@
 //	-no-validate           skip Stage-2 SMT path validation
 //	-no-prune              disable Stage-1 infeasible-branch pruning
 //	-no-memo               disable Stage-1 (block, state) memoization
+//	-no-summaries          disable Stage-1 interprocedural callee summaries
+//	-max-conts N           callee continuations per call (P2 cap; negative = unlimited)
 //	-stats                 print engine statistics
 //	-json                  emit machine-readable JSON
 //	-unroll N              loop unroll factor (default 1, the paper's rule)
 //	-workers N             analyze entry functions with N concurrent engines
 //	-validate-workers N    Stage-2 validation workers (0 = GOMAXPROCS)
+//	-cpuprofile FILE       write a CPU profile of the analysis to FILE
+//	-memprofile FILE       write an allocation profile at exit to FILE
 package main
 
 import (
@@ -26,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	pata "repro"
@@ -39,26 +45,44 @@ func main() {
 	noValidate := flag.Bool("no-validate", false, "skip SMT path validation")
 	noPrune := flag.Bool("no-prune", false, "disable Stage-1 on-the-fly infeasible-branch pruning")
 	noMemo := flag.Bool("no-memo", false, "disable Stage-1 (block, state) subtree memoization")
+	noSummaries := flag.Bool("no-summaries", false, "disable Stage-1 interprocedural callee summaries")
+	maxConts := flag.Int("max-conts", 0, "callee continuations per call: the P2 cap (0 = default 2, negative = unlimited)")
 	stats := flag.Bool("stats", false, "print engine statistics")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	unroll := flag.Int("unroll", 1, "loop unroll factor (paper default 1)")
 	workers := flag.Int("workers", 1, "analyze entry functions with N concurrent engines")
 	validateWorkers := flag.Int("validate-workers", 0, "Stage-2 validation workers when -workers > 1 (0 = GOMAXPROCS)")
 	witness := flag.Bool("witness", false, "print each bug's witness path and trigger values")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	flag.Parse()
 
 	cfg := pata.Config{
-		NoAlias:         *noAlias,
-		SkipValidation:  *noValidate,
-		NoPrune:         *noPrune,
-		NoMemo:          *noMemo,
-		LoopUnroll:      *unroll,
-		Workers:         *workers,
-		ValidateWorkers: *validateWorkers,
-		WitnessPaths:    *witness,
+		NoAlias:                 *noAlias,
+		SkipValidation:          *noValidate,
+		NoPrune:                 *noPrune,
+		NoMemo:                  *noMemo,
+		NoSummaries:             *noSummaries,
+		MaxContinuationsPerCall: *maxConts,
+		LoopUnroll:              *unroll,
+		Workers:                 *workers,
+		ValidateWorkers:         *validateWorkers,
+		WitnessPaths:            *witness,
 	}
 	if *checkers != "" {
 		cfg.Checkers = strings.Split(*checkers, ",")
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pata:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pata:", err)
+			os.Exit(1)
+		}
 	}
 
 	var (
@@ -80,6 +104,20 @@ func main() {
 		os.Exit(1)
 	}
 
+	// exit wraps os.Exit so the profile defers above still run.
+	exit := func(code int) {
+		if *memProfile != "" {
+			if werr := writeMemProfile(*memProfile); werr != nil {
+				fmt.Fprintln(os.Stderr, "pata:", werr)
+				code = 1
+			}
+		}
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		os.Exit(code)
+	}
+
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -88,12 +126,12 @@ func main() {
 			Stats pata.Stats `json:"stats"`
 		}{Bugs: res.Bugs, Stats: res.Stats}); err != nil {
 			fmt.Fprintln(os.Stderr, "pata:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		if len(res.Bugs) > 0 {
-			os.Exit(3)
+			exit(3)
 		}
-		return
+		exit(0)
 	}
 	if len(res.Bugs) == 0 {
 		fmt.Println("no bugs found")
@@ -119,6 +157,17 @@ func main() {
 		report.WriteStats(os.Stdout, res.Stats)
 	}
 	if len(res.Bugs) > 0 {
-		os.Exit(3) // bugs found: non-zero for CI use
+		exit(3) // bugs found: non-zero for CI use
 	}
+	exit(0)
+}
+
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // settle allocations so the heap profile reflects live data
+	return pprof.Lookup("allocs").WriteTo(f, 0)
 }

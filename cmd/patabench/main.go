@@ -3,30 +3,63 @@
 //
 // Usage:
 //
-//	patabench -exp table4|table5|table6|table7|table8|fig11|fpaudit|cases|fsm|pruning|all
+//	patabench -exp table4|table5|table6|table7|table8|fig11|fpaudit|cases|fsm|pruning|summaries|all
 //	patabench -exp bench [-bench-out BENCH_pipeline.json]
+//
+// -cpuprofile/-memprofile write pprof profiles of the selected experiment,
+// for chasing regressions in the analysis hot loops.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/exp"
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table4, table5, table6, table7, table8, fig11, fpaudit, extensions, cases, fsm, pruning, bench, or all")
+	which := flag.String("exp", "all", "experiment: table4, table5, table6, table7, table8, fig11, fpaudit, extensions, cases, fsm, pruning, summaries, bench, or all")
 	benchOut := flag.String("bench-out", "BENCH_pipeline.json", "output path for -exp bench")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "patabench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "patabench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProfile != "" {
+			if err := writeMemProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "patabench:", err)
+			}
+		}
+	}()
+
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "patabench: %s: %v\n", name, err)
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		os.Exit(1)
+	}
 	run := func(name string, f func() error) {
 		if *which != "all" && *which != name {
 			return
 		}
 		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "patabench: %s: %v\n", name, err)
-			os.Exit(1)
+			fail(name, err)
 		}
 		fmt.Println()
 	}
@@ -42,13 +75,23 @@ func main() {
 	run("extensions", func() error { _, err := exp.Extensions(os.Stdout); return err })
 	run("cases", func() error { _, err := exp.Cases(os.Stdout); return err })
 	run("pruning", func() error { _, err := exp.PruningTable(os.Stdout); return err })
+	run("summaries", func() error { _, err := exp.SummaryTable(os.Stdout); return err })
 
 	// bench writes BENCH_pipeline.json, so it only runs when asked for
 	// explicitly, never under -exp all.
 	if *which == "bench" {
 		if err := exp.WriteBenchJSON(os.Stdout, *benchOut); err != nil {
-			fmt.Fprintf(os.Stderr, "patabench: bench: %v\n", err)
-			os.Exit(1)
+			fail("bench", err)
 		}
 	}
+}
+
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // settle allocations so the heap profile reflects live data
+	return pprof.Lookup("allocs").WriteTo(f, 0)
 }

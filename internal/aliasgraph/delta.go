@@ -1,0 +1,140 @@
+// Delta extraction and replay for the engine's interprocedural summary
+// cache. A summary records what a callee walk did to the alias graph as a
+// sequence of forward-replayable operations; the engine translates the node
+// pointers into canonical labels (CanonState) when storing and resolves them
+// back at a replay site, so a delta recorded under one allocation history
+// applies to any graph holding the same logical configuration.
+package aliasgraph
+
+import "repro/internal/cir"
+
+// DeltaKind tags a recorded graph operation.
+type DeltaKind uint8
+
+// Delta operation kinds, mirroring the undo trail's mutation vocabulary.
+const (
+	DNewNode DeltaKind = iota // a node was created (To)
+	DMove                     // variable V moved From -> To (From nil: first binding)
+	DAddEdge                  // edge From -l-> To added
+	DDelEdge                  // edge From -l-> To removed
+	DConst                    // node To's constant binding set to Const
+)
+
+// DeltaOp is one forward-replayable graph mutation. Node fields reference
+// nodes of the graph the delta was extracted from; callers re-express them
+// in an allocation-independent form before reuse.
+type DeltaOp struct {
+	Kind     DeltaKind
+	V        cir.Value
+	From, To *Node
+	Label    Label
+	Const    *cir.Const
+}
+
+// ExtractDelta returns the graph mutations applied since mark and still in
+// effect, in application order. The trail holds exactly those operations
+// (rolled-back ones are popped), storing old values for rollback; new values
+// are reconstructed with a backward scan — the newest write to a slot is the
+// slot's current value, and each earlier write's value is the old value
+// recorded by the write after it.
+func (g *Graph) ExtractDelta(mark Mark) []DeltaOp {
+	seg := g.trail[int(mark):]
+	if len(seg) == 0 {
+		return nil
+	}
+	// Backward pass: reconstruct the constant each uConstSet installed.
+	constNew := make(map[int]*cir.Const)
+	pendingConst := make(map[*Node]*cir.Const)
+	seenConst := make(map[*Node]bool)
+	for i := len(seg) - 1; i >= 0; i-- {
+		u := seg[i]
+		if u.kind != uConstSet {
+			continue
+		}
+		if seenConst[u.to] {
+			constNew[i] = pendingConst[u.to]
+		} else {
+			constNew[i] = u.to.ConstVal
+			seenConst[u.to] = true
+		}
+		pendingConst[u.to] = u.oldConst
+	}
+	ops := make([]DeltaOp, 0, len(seg))
+	for i, u := range seg {
+		switch u.kind {
+		case uNodeNew:
+			ops = append(ops, DeltaOp{Kind: DNewNode, To: u.to})
+		case uVarMove:
+			ops = append(ops, DeltaOp{Kind: DMove, V: u.v, From: u.from, To: u.to})
+		case uEdgeAdd:
+			ops = append(ops, DeltaOp{Kind: DAddEdge, From: u.from, To: u.to, Label: u.label})
+		case uEdgeDel:
+			ops = append(ops, DeltaOp{Kind: DDelEdge, From: u.from, To: u.to, Label: u.label})
+		case uConstSet:
+			ops = append(ops, DeltaOp{Kind: DConst, To: u.to, Const: constNew[i]})
+		}
+	}
+	return ops
+}
+
+// NodeByID returns the currently allocated node with the given ID (IDs are
+// 1-based and dense: node i lives at nodes[i-1]); nil when out of range.
+func (g *Graph) NodeByID(id int) *Node {
+	if id < 1 || id > len(g.nodes) {
+		return nil
+	}
+	return g.nodes[id-1]
+}
+
+// ---- trailed replay primitives ----
+//
+// Each primitive applies one recorded operation through the same trail
+// machinery as the original mutation, so a Rollback past the replay point
+// restores the pre-replay graph exactly. The boolean primitives verify that
+// the replay-site graph matches what the recorded operation expects; a
+// mismatch (canonical-key collision) makes the caller abandon the replay.
+
+// ReplayNewNode creates a fresh node, trailed.
+func (g *Graph) ReplayNewNode() *Node { return g.newNode() }
+
+// ReplayMove re-applies a recorded variable move. from is the node v resided
+// in at record time (nil when the move first bound v); it must match the
+// replay-site binding of v.
+func (g *Graph) ReplayMove(v cir.Value, from, to *Node) bool {
+	cur := g.varOf[v]
+	if cur != from {
+		return false
+	}
+	if from == nil {
+		to.vars[v] = struct{}{}
+		g.varOf[v] = to
+		g.fp ^= g.memberFact(v, to)
+		g.trail = append(g.trail, undo{kind: uVarMove, v: v, from: nil, to: to})
+		return true
+	}
+	g.moveVar(v, from, to)
+	return true
+}
+
+// ReplayAddEdge re-applies a recorded edge addition. The label slot must be
+// empty, as it was at record time (addEdge never overwrites).
+func (g *Graph) ReplayAddEdge(from *Node, l Label, to *Node) bool {
+	if _, exists := from.out[l]; exists {
+		return false
+	}
+	g.addEdge(from, l, to)
+	return true
+}
+
+// ReplayDelEdge re-applies a recorded edge removal; the edge must currently
+// point where it did at record time.
+func (g *Graph) ReplayDelEdge(from *Node, l Label, to *Node) bool {
+	if cur, ok := from.out[l]; !ok || cur != to {
+		return false
+	}
+	g.delEdge(from, l)
+	return true
+}
+
+// ReplayConst re-applies a recorded constant binding.
+func (g *Graph) ReplayConst(n *Node, c *cir.Const) { g.setConst(n, c) }

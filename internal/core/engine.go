@@ -77,6 +77,14 @@ type Config struct {
 	// explored, emission-free one. Active only in ModePATA and when
 	// Trace is nil.
 	NoMemo bool
+	// NoSummaries disables the interprocedural summary cache: by default
+	// the DFS records, per (callee, observable entry state, loop context,
+	// depth) activation, the callee's per-continuation effects — alias
+	// deltas over canonical labels, typestate transitions, path-condition
+	// atoms, candidate emissions, return bindings — and replays them at
+	// later matching activations instead of re-walking the callee (see
+	// summary.go). Active only in ModePATA and when Trace is nil.
+	NoSummaries bool
 	// Validate enables Stage-2 path validation (default true). The
 	// ValidatePath hook is installed by the pathval package (or a custom
 	// validator); when nil, validation is skipped.
@@ -118,6 +126,10 @@ func (c Config) PruneInfeasible() bool { return !c.NoPrune }
 // MemoStates reports whether (block, state) memoization is requested (on
 // unless NoMemo is set).
 func (c Config) MemoStates() bool { return !c.NoMemo }
+
+// Summaries reports whether the interprocedural summary cache is requested
+// (on unless NoSummaries is set).
+func (c Config) Summaries() bool { return !c.NoSummaries }
 
 // withDefaults fills zero fields.
 func (c Config) withDefaults() Config {
@@ -188,12 +200,12 @@ type Bug struct {
 
 // Stats mirrors the Table 5 "code analysis" and "bug detection" counters.
 type Stats struct {
-	EntryFunctions     int
-	PathsExplored      int64
-	StepsExecuted      int64
-	Budgeted           int // entries that hit a path/step budget
-	Typestates         int64
-	TypestatesUnaware  int64
+	EntryFunctions    int
+	PathsExplored     int64
+	StepsExecuted     int64
+	Budgeted          int // entries that hit a path/step budget
+	Typestates        int64
+	TypestatesUnaware int64
 	// PrunedBranches counts branch directions skipped because the
 	// incremental cursor proved the accumulated path condition
 	// unsatisfiable; each one cuts a whole subtree.
@@ -207,11 +219,19 @@ type Stats struct {
 	MemoHits         int64
 	MemoPathsSkipped int64
 	MemoStepsSkipped int64
-	PossibleBugs       int64
-	RepeatedDropped    int64
-	FalseDropped       int64
-	Constraints        int64
-	ConstraintsUnaware int64
+	// SummaryHits counts call-site activations served from the
+	// interprocedural summary cache instead of re-walking the callee.
+	// SummaryPathsReplayed/SummaryStepsReplayed accumulate the recorded
+	// in-callee cost those hits avoided (charged against the entry budgets,
+	// like the memo's skipped cost).
+	SummaryHits          int64
+	SummaryPathsReplayed int64
+	SummaryStepsReplayed int64
+	PossibleBugs         int64
+	RepeatedDropped      int64
+	FalseDropped         int64
+	Constraints          int64
+	ConstraintsUnaware   int64
 	// ValidationCacheHits/Misses count Stage-2 verdict-cache outcomes:
 	// hits are constraint systems whose sat/unsat verdict (and model) was
 	// reused instead of re-solved.
@@ -261,6 +281,15 @@ type Engine struct {
 	recStack     []recFrame
 	pathsCharged int64
 	stepsCharged int64
+
+	// Per-entry interprocedural summary state (nil when the feature is off
+	// for this entry): completed summaries by activation key, keys whose
+	// recording was abandoned (not worth re-attempting), the in-progress
+	// recording stack, and a scratch slot for summaryKey's reach set.
+	sums       map[uint64]*summaryRec
+	sumFailed  map[uint64]bool
+	sumStack   []*sumFrame
+	sumScratch [1]*blockInfo
 
 	paths int64
 	steps int64
@@ -390,6 +419,9 @@ func (e *Engine) analyzeEntry(fn *cir.Function) {
 	e.recStack = e.recStack[:0]
 	e.pathsCharged = 0
 	e.stepsCharged = 0
+	e.sums = nil
+	e.sumFailed = nil
+	e.sumStack = e.sumStack[:0]
 	if e.Cfg.Mode == ModePATA && e.Cfg.Trace == nil {
 		if e.Cfg.PruneInfeasible() {
 			e.pruner = newPruner()
@@ -398,6 +430,21 @@ func (e *Engine) analyzeEntry(fn *cir.Function) {
 			e.memo = make(map[uint64]memoRec)
 			if e.reach == nil {
 				e.reach = newReachSets(e.Mod)
+			}
+		}
+		if e.Cfg.Summaries() {
+			// The summary cache is per-entry for the same reason the memo
+			// is: keys embed per-entry canonical state, and per-entry reset
+			// keeps RunParallel's per-worker engines byte-identical to the
+			// sequential engine.
+			e.sums = make(map[uint64]*summaryRec)
+			e.sumFailed = make(map[uint64]bool)
+			if e.reach == nil {
+				e.reach = newReachSets(e.Mod)
+			}
+			if e.pruner != nil {
+				e.pruner.logAtoms = true
+				e.pruner.symNode = make(map[*smt.Var]int)
 			}
 		}
 	}
@@ -463,6 +510,9 @@ func (e *Engine) exec(in cir.Instr) {
 				e.stats.MemoStepsSkipped += rec.steps
 				e.pathsCharged += rec.paths
 				e.stepsCharged += rec.steps
+				// The skipped subtree may contain returns of a callee being
+				// summarized; the recording would miss those continuations.
+				e.poisonSummaries()
 				for i := range rec.emits {
 					me := &rec.emits[i]
 					e.emitCandidate(me.ci, me.origin, me.bugInstr, me.extra, me.aliasSet, me.suffix)
@@ -689,7 +739,7 @@ func (e *Engine) execCondBr(br *cir.CondBr) {
 			// validation would prove infeasible.
 			pm = e.pruner.mark()
 			if e.pruner.pushBranch(e.g, br, taken) == smt.Unsat {
-				e.stats.PrunedBranches++
+				e.notePrune()
 				e.pruner.rollback(pm)
 				e.tracker.Rollback(tm)
 				e.g.Rollback(gm)
@@ -749,6 +799,28 @@ func (e *Engine) execCall(call *cir.Call) {
 			}
 		}
 	}
+	// Interprocedural summary consult: keyed on the post-binding observable
+	// state, a matching activation replays the recorded callee effects; a
+	// first activation records them while walking live. Either way the
+	// bindings roll back below like a live walk's would.
+	if e.summariesOn() {
+		if key, labels, ok := e.summaryKey(callee); ok {
+			if rec, hit := e.sums[key]; hit {
+				if e.replaySummary(call, rec, labels) {
+					e.tracker.Rollback(tm)
+					e.g.Rollback(gm)
+					return
+				}
+				// A recorded ref did not resolve here (label collision);
+				// fall through to a live walk without recording.
+			} else if !e.sumFailed[key] {
+				e.recordCall(call, callee, key, labels)
+				e.tracker.Rollback(tm)
+				e.g.Rollback(gm)
+				return
+			}
+		}
+	}
 	e.frames = append(e.frames, &frame{fn: callee, call: call, fid: len(e.frames) + 1})
 	e.exec(callee.Entry().Instrs[0])
 	e.frames = e.frames[:len(e.frames)-1]
@@ -776,6 +848,17 @@ func (e *Engine) execRet(ret *cir.Ret) {
 		e.endPath()
 		return
 	}
+	// If this activation is being summarized, snapshot the continuation
+	// (callee effects so far, expressed canonically) before the caller
+	// resumes, and suspend the recording: the caller's continuation runs
+	// nested inside the callee walk but is not part of the callee's effect.
+	sf := e.sumTop(f)
+	if sf != nil {
+		e.captureCont(sf, ret)
+		sf.suspended = true
+		sf.suspSteps = e.steps + e.stepsCharged
+		sf.suspPaths = e.paths + e.pathsCharged
+	}
 	// Bind the return value to the call destination (HandleCALL lines
 	// 19–20) and continue after the call site.
 	e.frames = e.frames[:len(e.frames)-1]
@@ -799,6 +882,11 @@ func (e *Engine) execRet(ret *cir.Ret) {
 	e.tracker.Rollback(tm)
 	e.g.Rollback(gm)
 	e.frames = append(e.frames, f)
+	if sf != nil {
+		sf.extSteps += e.steps + e.stepsCharged - sf.suspSteps
+		sf.extPaths += e.paths + e.pathsCharged - sf.suspPaths
+		sf.suspended = false
+	}
 }
 
 func (e *Engine) endPath() {
@@ -893,6 +981,25 @@ func (e *Engine) emitCandidate(ci, origin int, bugInstr cir.Instr, extra *typest
 			ci: ci, origin: origin, bugInstr: bugInstr,
 			extra: extra, aliasSet: aliasSet, suffix: suffix,
 		})
+	}
+	// Open summary recordings capture the emission the same way, relative to
+	// their own activation point. Suspended recordings skip it: an emission
+	// during a caller continuation is not a callee effect — the continuation
+	// re-runs live at replay sites and regenerates it there.
+	for _, sf := range e.sumStack {
+		if sf.poisoned || sf.suspended {
+			continue
+		}
+		if len(sf.events) >= maxSummaryEvents {
+			sf.poisoned = true
+			continue
+		}
+		suffix := make([]PathStep, len(full)-sf.pathLen)
+		copy(suffix, full[sf.pathLen:])
+		sf.events = append(sf.events, sumEvent{emit: &sumEmit{
+			ci: ci, origin: origin, bugInstr: bugInstr,
+			extra: extra, aliasSet: aliasSet, suffix: suffix,
+		}})
 	}
 	key := dedupKey{checker: ci, origin: origin, bug: bugInstr.GID()}
 	if prev, dup := e.dedup[key]; dup {

@@ -97,6 +97,9 @@ func (e *Engine) runEntryDelta(fn *cir.Function) *Result {
 	res.Stats.MemoHits = e.stats.MemoHits - prev.MemoHits
 	res.Stats.MemoPathsSkipped = e.stats.MemoPathsSkipped - prev.MemoPathsSkipped
 	res.Stats.MemoStepsSkipped = e.stats.MemoStepsSkipped - prev.MemoStepsSkipped
+	res.Stats.SummaryHits = e.stats.SummaryHits - prev.SummaryHits
+	res.Stats.SummaryPathsReplayed = e.stats.SummaryPathsReplayed - prev.SummaryPathsReplayed
+	res.Stats.SummaryStepsReplayed = e.stats.SummaryStepsReplayed - prev.SummaryStepsReplayed
 	res.Stats.RepeatedDropped = e.stats.RepeatedDropped - prev.RepeatedDropped
 	res.Stats.Typestates = trk.Transitions - prevTrk.Transitions
 	res.Stats.TypestatesUnaware = trk.TransitionsUnaware - prevTrk.TransitionsUnaware
@@ -256,6 +259,9 @@ func RunParallel(mod *cir.Module, cfg Config, workers int) *Result {
 				s.MemoHits += r.Stats.MemoHits
 				s.MemoPathsSkipped += r.Stats.MemoPathsSkipped
 				s.MemoStepsSkipped += r.Stats.MemoStepsSkipped
+				s.SummaryHits += r.Stats.SummaryHits
+				s.SummaryPathsReplayed += r.Stats.SummaryPathsReplayed
+				s.SummaryStepsReplayed += r.Stats.SummaryStepsReplayed
 				s.Typestates += r.Stats.Typestates
 				s.TypestatesUnaware += r.Stats.TypestatesUnaware
 				s.RepeatedDropped += r.Stats.RepeatedDropped

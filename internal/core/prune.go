@@ -34,6 +34,22 @@ type pruner struct {
 	// paired LIFO order: no live atom ever references a node incarnation
 	// other than the one its ID named when the atom was pushed.
 	syms map[int]*smt.Var
+	// symNode is the reverse of syms, maintained by symOf when the summary
+	// cache needs to map a recorded atom's symbols back to the nodes they
+	// named (for re-basing onto the replay site's symbols). Nil when atom
+	// logging is off.
+	symNode map[*smt.Var]int
+	// logAtoms/atomLog mirror the cursor's live atom chain: each entry is a
+	// pushed formula plus the pre-push cursor mark, so rollback can pop
+	// exactly the entries the cursor rollback undoes. The summary recorder
+	// reads the suffix pushed since a call-site activation began.
+	logAtoms bool
+	atomLog  []atomLogEntry
+}
+
+type atomLogEntry struct {
+	f  smt.Formula
+	cm smt.CursorMark
 }
 
 func newPruner() *pruner {
@@ -51,9 +67,15 @@ func (p *pruner) mark() prunerMark {
 
 func (p *pruner) rollback(m prunerMark) {
 	p.cursor.Rollback(m.cm)
+	for len(p.atomLog) > 0 && p.atomLog[len(p.atomLog)-1].cm >= m.cm {
+		p.atomLog = p.atomLog[:len(p.atomLog)-1]
+	}
 }
 
 func (p *pruner) push(f smt.Formula) smt.Result {
+	if p.logAtoms {
+		p.atomLog = append(p.atomLog, atomLogEntry{f: f, cm: p.cursor.Checkpoint()})
+	}
 	return p.cursor.Push(f)
 }
 
@@ -64,6 +86,9 @@ func (p *pruner) symOf(n *aliasgraph.Node) *smt.Var {
 	}
 	s := p.ctx.Var("as")
 	p.syms[n.ID] = s
+	if p.symNode != nil {
+		p.symNode[s] = n.ID
+	}
 	return s
 }
 

@@ -1,0 +1,567 @@
+// Interprocedural callee summaries: the Stage-1 DFS memoizes call-site
+// exploration. The first time a defined callee is entered with a given
+// observable configuration, the engine records what the walk did — per
+// continuation path, the alias-graph delta, the typestate delta, the
+// path-condition atoms pushed, the path suffix walked, plus every candidate
+// emission — all expressed over canonical, allocation-independent node
+// labels (aliasgraph.CanonState). A later activation whose key matches
+// replays the recorded effects instead of re-walking the callee: it applies
+// the deltas through the trail (so the DFS rollback discipline is
+// untouched), re-bases the recorded atoms onto the replay site's symbols,
+// grafts the recorded path suffixes, performs the return binding live, and
+// explores each caller continuation live.
+//
+// The key is (callee entry GID, canonical alias graph restricted to values
+// the callee can observe via core/reach.go, canonical typestate digest over
+// the same labels, loop-unroll counters of callee-reachable instructions,
+// call-stack depth). Depth matters because frame ids are depth-valued and
+// checkers store them in properties (ML ownership); the caller chain and the
+// call site do not — unlike the (block, state) memo, a summary recorded at
+// one call site replays at any other site reaching the callee in the same
+// observable state, which is where shared-helper reuse comes from.
+//
+// Conservatism (mirroring PR 2's memo rules): recording is abandoned — and
+// the key marked failed — when a tracked fact lives on a node the callee's
+// observable values cannot reach (CanonDigest returns !ok for ObservesReturn
+// checkers, whose sweeps can fire on escaped/leaked objects no value names),
+// when a recorded operation or atom references an unlabelled pre-existing
+// node, when a branch inside the segment was pruned (the recorded effects
+// would depend on the caller's constraint prefix, which the key deliberately
+// omits), when a (block, state) memo hit inside the segment skipped part of
+// the callee (the recorded continuation set would be incomplete), when the
+// entry budget tripped mid-walk, or when the event list exceeds
+// maxSummaryEvents. Callees without a body are never summarized — an
+// unknown call contributes no effects to record.
+package core
+
+import (
+	"repro/internal/aliasgraph"
+	"repro/internal/cir"
+	"repro/internal/hmix"
+	"repro/internal/smt"
+	"repro/internal/typestate"
+)
+
+// refKind distinguishes how a recorded operation names a node.
+type refKind uint8
+
+const (
+	// refNone is the nil node (a variable's first binding has no source).
+	refNone refKind = iota
+	// refPre names a node that existed at segment start by its canonical
+	// label; the replay site resolves it through its own label map.
+	refPre
+	// refNew names a node the segment created by creation ordinal; the
+	// replay site resolves it against the nodes its own replay created.
+	refNew
+)
+
+// nodeRef is an allocation-independent reference to an alias-graph node.
+type nodeRef struct {
+	kind  refKind
+	label uint64 // canonical label (refPre)
+	ord   int    // creation ordinal within the segment, 0-based (refNew)
+}
+
+// sumGraphOp is one recorded alias-graph mutation with nodes re-expressed
+// as refs. Values and labels are module-static and stored directly.
+type sumGraphOp struct {
+	kind     aliasgraph.DeltaKind
+	v        cir.Value
+	from, to nodeRef
+	label    aliasgraph.Label
+	c        *cir.Const
+}
+
+// sumTrackOp is one recorded tracker mutation.
+type sumTrackOp struct {
+	isProp  bool
+	checker int
+	node    nodeRef
+	prop    string
+	state   typestate.State
+	val     int64
+}
+
+// sumAtom is one recorded path-condition atom: the pushed formula plus the
+// node each of its alias-class symbols named, so the replay site can
+// substitute its own symbols for the same logical objects. Symbols with no
+// node mapping (interned opaque terms) are left alone — the per-entry
+// context interns them structurally, so they stay stable across record and
+// replay within one entry.
+type sumAtom struct {
+	f    smt.Formula
+	vars []*smt.Var
+	refs []nodeRef // parallel to vars
+}
+
+// sumEmit is one candidate emission observed inside the callee segment,
+// in the same reduced form the (block, state) memo records (see memoEmit);
+// suffix is the path below the call-site activation point.
+type sumEmit struct {
+	ci       int
+	origin   int
+	bugInstr cir.Instr
+	extra    *typestate.ExtraConstraint
+	aliasSet []string
+	suffix   []PathStep
+}
+
+// sumCont is one recorded caller continuation: the callee path reached a
+// return that survived the continuation cap. It carries the full callee
+// effect from segment start along that path — graph and tracker deltas,
+// pushed atoms, the path suffix with its loop counters — plus the return
+// instruction for the live return binding, and the in-callee cost
+// accumulated before this continuation (for budget charging).
+type sumCont struct {
+	ret      *cir.Ret
+	gops     []sumGraphOp
+	tops     []sumTrackOp
+	atoms    []sumAtom
+	suffix   []PathStep
+	preSteps int64
+	prePaths int64
+}
+
+// sumEvent is one chronological event of a callee segment: exactly one of
+// emit/cont is set. Order matters — dedup first-writers and AltPaths appends
+// must replay in the order live exploration produced them.
+type sumEvent struct {
+	emit *sumEmit
+	cont *sumCont
+}
+
+// summaryRec is one completed callee summary. steps/paths are the total
+// in-callee cost of the recorded walk (continuation subtrees excluded);
+// replay charges them against the entry budget exactly as the memo does.
+type summaryRec struct {
+	events []sumEvent
+	steps  int64
+	paths  int64
+}
+
+// maxSummaryEvents bounds the events recorded per activation; a callee
+// exceeding it is not summarized (and re-walked on every activation).
+const maxSummaryEvents = 64
+
+// sumFrame is an in-progress recording, one per call-site activation being
+// summarized on the DFS stack.
+type sumFrame struct {
+	key   uint64
+	frame *frame // identity of the callee activation, for execRet interception
+	// Segment-start snapshots: path length, node count, trail marks, atom
+	// log length, and charged-inclusive cost counters.
+	pathLen   int
+	baseNodes int
+	gmark     aliasgraph.Mark
+	tmark     typestate.Mark
+	atomLen   int
+	steps0    int64
+	paths0    int64
+	// extSteps/extPaths accumulate cost spent while suspended (caller
+	// continuations run nested inside the callee walk and must not count as
+	// callee cost); susp* hold the suspension-time snapshots.
+	extSteps  int64
+	extPaths  int64
+	suspSteps int64
+	suspPaths int64
+	suspended bool
+	// labels is a private copy of the segment-start canonical labels
+	// (CanonState's scratch map is clobbered at the next join).
+	labels   map[*aliasgraph.Node]uint64
+	events   []sumEvent
+	poisoned bool
+}
+
+// summariesOn reports whether the summary cache is active for this entry.
+func (e *Engine) summariesOn() bool { return e.sums != nil }
+
+// summaryKey fingerprints the configuration a callee activation can observe.
+// Returns the canonical label map alongside (the graph's scratch — use
+// before the next CanonState call). ok=false means the configuration cannot
+// be canonicalized and the activation must be walked live.
+func (e *Engine) summaryKey(callee *cir.Function) (uint64, map[*aliasgraph.Node]uint64, bool) {
+	bi := e.reach.blockReach(callee.Entry())
+	relevant := func(v cir.Value) bool { return bi.vals[v] }
+	gd, labels := e.g.CanonState(relevant)
+	td, ok := e.tracker.CanonDigest(labels)
+	if !ok {
+		return 0, nil, false
+	}
+	e.sumScratch[0] = bi
+	h := hmix.Mix4(uint64(callee.Entry().Instrs[0].GID()), gd, td, e.onPathDigest(e.sumScratch[:]))
+	return hmix.Mix2(h, uint64(len(e.frames))), labels, true
+}
+
+// sumTop returns the in-progress recording whose callee activation is f.
+func (e *Engine) sumTop(f *frame) *sumFrame {
+	for i := len(e.sumStack) - 1; i >= 0; i-- {
+		if e.sumStack[i].frame == f {
+			return e.sumStack[i]
+		}
+	}
+	return nil
+}
+
+// notePrune counts one pruned branch direction and poisons every recording
+// whose segment the prune happened in (the unsuspended ones): a summary must
+// behave like unpruned-within-the-callee exploration, because its key omits
+// the caller's constraint prefix. Suspended recordings are exempt — the
+// prune happened in their caller's continuation, outside their segment.
+func (e *Engine) notePrune() {
+	e.stats.PrunedBranches++
+	for _, sf := range e.sumStack {
+		if !sf.suspended {
+			sf.poisoned = true
+		}
+	}
+}
+
+// poisonSummaries abandons every unsuspended recording (used when a memo hit
+// skips part of a callee: the recorded continuation set would be incomplete).
+func (e *Engine) poisonSummaries() {
+	for _, sf := range e.sumStack {
+		if !sf.suspended {
+			sf.poisoned = true
+		}
+	}
+}
+
+// refOf re-expresses a node of the current graph as an allocation-
+// independent ref relative to recording sf. Pre-existing nodes must carry a
+// canonical label; ok=false poisons the recording.
+func (e *Engine) refOf(sf *sumFrame, n *aliasgraph.Node) (nodeRef, bool) {
+	if n == nil {
+		return nodeRef{kind: refNone}, true
+	}
+	if n.ID > sf.baseNodes {
+		// Live segment-created nodes hold consecutive IDs above the segment
+		// base (rollback rewinds the ID counter), so ID order is creation
+		// order and matches the DNewNode order in the extracted delta.
+		return nodeRef{kind: refNew, ord: n.ID - sf.baseNodes - 1}, true
+	}
+	l, ok := sf.labels[n]
+	if !ok {
+		return nodeRef{}, false
+	}
+	return nodeRef{kind: refPre, label: l}, true
+}
+
+// recordCall walks the callee live under a fresh recording frame and, if the
+// walk completed un-poisoned, stores the summary. Called from execCall after
+// argument binding; the caller rolls the bindings back.
+func (e *Engine) recordCall(call *cir.Call, callee *cir.Function, key uint64, labels map[*aliasgraph.Node]uint64) {
+	sf := &sumFrame{
+		key:       key,
+		pathLen:   len(e.path),
+		baseNodes: e.g.NumNodes(),
+		gmark:     e.g.Checkpoint(),
+		tmark:     e.tracker.Checkpoint(),
+		steps0:    e.steps + e.stepsCharged,
+		paths0:    e.paths + e.pathsCharged,
+		labels:    make(map[*aliasgraph.Node]uint64, len(labels)),
+	}
+	for n, l := range labels {
+		sf.labels[n] = l
+	}
+	if e.pruner != nil {
+		sf.atomLen = len(e.pruner.atomLog)
+	}
+	fr := &frame{fn: callee, call: call, fid: len(e.frames) + 1}
+	sf.frame = fr
+	e.sumStack = append(e.sumStack, sf)
+	e.frames = append(e.frames, fr)
+	e.exec(callee.Entry().Instrs[0])
+	e.frames = e.frames[:len(e.frames)-1]
+	e.sumStack = e.sumStack[:len(e.sumStack)-1]
+	if !sf.poisoned && !e.over {
+		e.sums[sf.key] = &summaryRec{
+			events: sf.events,
+			steps:  e.steps + e.stepsCharged - sf.steps0 - sf.extSteps,
+			paths:  e.paths + e.pathsCharged - sf.paths0 - sf.extPaths,
+		}
+	} else {
+		e.sumFailed[sf.key] = true
+	}
+}
+
+// captureCont snapshots one continuation into recording sf. Called from
+// execRet after the continuation cap passed, before the frame pops; the
+// trail suffix from the segment marks holds exactly the callee-internal
+// operations applied on the current path (each instruction's unwind already
+// rolled back sibling subtrees and earlier continuations).
+func (e *Engine) captureCont(sf *sumFrame, ret *cir.Ret) {
+	if sf.poisoned {
+		return
+	}
+	if len(sf.events) >= maxSummaryEvents {
+		sf.poisoned = true
+		return
+	}
+	c := &sumCont{
+		ret:      ret,
+		preSteps: e.steps + e.stepsCharged - sf.steps0 - sf.extSteps,
+		prePaths: e.paths + e.pathsCharged - sf.paths0 - sf.extPaths,
+	}
+	c.suffix = append([]PathStep(nil), e.path[sf.pathLen:]...)
+	for _, op := range e.g.ExtractDelta(sf.gmark) {
+		from, ok1 := e.refOf(sf, op.From)
+		to, ok2 := e.refOf(sf, op.To)
+		if !ok1 || !ok2 {
+			sf.poisoned = true
+			return
+		}
+		c.gops = append(c.gops, sumGraphOp{
+			kind: op.Kind, v: op.V, from: from, to: to, label: op.Label, c: op.Const,
+		})
+	}
+	for _, op := range e.tracker.ExtractDelta(sf.tmark) {
+		ref, ok := e.refOf(sf, op.Node)
+		if !ok {
+			sf.poisoned = true
+			return
+		}
+		c.tops = append(c.tops, sumTrackOp{
+			isProp: op.IsProp, checker: op.Checker, node: ref,
+			prop: op.Prop, state: op.State, val: op.Val,
+		})
+	}
+	if e.pruner != nil {
+		seen := make(map[*smt.Var]bool)
+		for _, ent := range e.pruner.atomLog[sf.atomLen:] {
+			clear(seen)
+			a := sumAtom{f: ent.f}
+			for _, v := range smt.CollectVars(ent.f, nil, seen) {
+				nid, mapped := e.pruner.symNode[v]
+				if !mapped {
+					continue // interned opaque symbol; stable as-is
+				}
+				n := e.g.NodeByID(nid)
+				if n == nil {
+					sf.poisoned = true
+					return
+				}
+				ref, ok := e.refOf(sf, n)
+				if !ok {
+					sf.poisoned = true
+					return
+				}
+				a.vars = append(a.vars, v)
+				a.refs = append(a.refs, ref)
+			}
+			c.atoms = append(c.atoms, a)
+		}
+	}
+	sf.events = append(sf.events, sumEvent{cont: c})
+}
+
+// replaySummary re-applies a recorded callee walk at the current call site.
+// Returns false — with zero side effects — when a recorded ref does not
+// resolve at this site (missing or ambiguous label), in which case the
+// caller walks the callee live. After the pre-flight, effects are applied:
+// emissions replay through emitCandidate; each continuation applies its
+// deltas and rebased atoms, grafts its suffix, binds the return value live,
+// and explores the caller successors live. A continuation whose rebased
+// atoms turn the path condition unsatisfiable is skipped as a pruned branch
+// (live re-walking would have pruned it under this caller prefix too).
+func (e *Engine) replaySummary(call *cir.Call, rec *summaryRec, labels map[*aliasgraph.Node]uint64) bool {
+	byLabel := make(map[uint64]*aliasgraph.Node, len(labels))
+	var dup map[uint64]bool
+	for n, l := range labels {
+		if _, exists := byLabel[l]; exists {
+			if dup == nil {
+				dup = make(map[uint64]bool)
+			}
+			dup[l] = true
+			continue
+		}
+		byLabel[l] = n
+	}
+	refOK := func(r nodeRef) bool {
+		if r.kind != refPre {
+			return true
+		}
+		if dup != nil && dup[r.label] {
+			return false
+		}
+		_, ok := byLabel[r.label]
+		return ok
+	}
+	for _, ev := range rec.events {
+		c := ev.cont
+		if c == nil {
+			continue
+		}
+		for _, op := range c.gops {
+			if !refOK(op.from) || !refOK(op.to) {
+				return false
+			}
+		}
+		for _, op := range c.tops {
+			if !refOK(op.node) {
+				return false
+			}
+		}
+		for _, a := range c.atoms {
+			for _, r := range a.refs {
+				if !refOK(r) {
+					return false
+				}
+			}
+		}
+	}
+
+	e.stats.SummaryHits++
+	var chargedSteps, chargedPaths int64
+	chargeTo := func(ts, tp int64) {
+		if ts > chargedSteps {
+			e.stepsCharged += ts - chargedSteps
+			chargedSteps = ts
+		}
+		if tp > chargedPaths {
+			e.pathsCharged += tp - chargedPaths
+			chargedPaths = tp
+		}
+	}
+	var created []*aliasgraph.Node
+events:
+	for _, ev := range rec.events {
+		if ev.emit != nil {
+			em := ev.emit
+			e.emitCandidate(em.ci, em.origin, em.bugInstr, em.extra, em.aliasSet, em.suffix)
+			continue
+		}
+		c := ev.cont
+		if e.budgetExceeded() {
+			break
+		}
+		chargeTo(c.preSteps, c.prePaths)
+		gm := e.g.Checkpoint()
+		tm := e.tracker.Checkpoint()
+		var pm prunerMark
+		if e.pruner != nil {
+			pm = e.pruner.mark()
+		}
+		created = created[:0]
+		ok := true
+		resolve := func(r nodeRef) *aliasgraph.Node {
+			switch r.kind {
+			case refNone:
+				return nil
+			case refPre:
+				return byLabel[r.label]
+			default:
+				if r.ord < len(created) {
+					return created[r.ord]
+				}
+				ok = false
+				return nil
+			}
+		}
+		for _, op := range c.gops {
+			switch op.kind {
+			case aliasgraph.DNewNode:
+				created = append(created, e.g.ReplayNewNode())
+			case aliasgraph.DMove:
+				ok = e.g.ReplayMove(op.v, resolve(op.from), resolve(op.to)) && ok
+			case aliasgraph.DAddEdge:
+				ok = e.g.ReplayAddEdge(resolve(op.from), op.label, resolve(op.to)) && ok
+			case aliasgraph.DDelEdge:
+				ok = e.g.ReplayDelEdge(resolve(op.from), op.label, resolve(op.to)) && ok
+			case aliasgraph.DConst:
+				e.g.ReplayConst(resolve(op.to), op.c)
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			for _, op := range c.tops {
+				n := resolve(op.node)
+				if n == nil {
+					ok = false
+					break
+				}
+				if op.isProp {
+					e.tracker.SetProp(op.checker, n, op.prop, op.val)
+				} else {
+					e.tracker.ReplayState(op.checker, n, op.state)
+				}
+			}
+		}
+		unsat := false
+		if ok && e.pruner != nil {
+			for _, a := range c.atoms {
+				f := a.f
+				if len(a.vars) > 0 {
+					m := make(map[*smt.Var]smt.Term, len(a.vars))
+					for i, v := range a.vars {
+						n := resolve(a.refs[i])
+						if n == nil {
+							ok = false
+							break
+						}
+						m[v] = e.pruner.symOf(n)
+					}
+					if !ok {
+						break
+					}
+					f = smt.Substitute(f, m)
+				}
+				if e.pruner.push(f) == smt.Unsat {
+					unsat = true
+					break
+				}
+			}
+		}
+		if ok && !unsat {
+			base := len(e.path)
+			for _, st := range c.suffix {
+				e.onPath[st.Instr.GID()]++
+			}
+			e.path = append(e.path, c.suffix...)
+			if call.Dst != nil && c.ret.Val != nil {
+				e.g.Move(call.Dst, c.ret.Val)
+				for ci, ch := range e.tracker.Checkers {
+					for _, em := range ch.OnBind(call.Dst, c.ret.Val, call, e) {
+						e.tracker.Apply(ci, em)
+					}
+				}
+			}
+			succs := instrSuccessors(call)
+			if len(succs) == 0 {
+				e.endPath()
+			}
+			for _, next := range succs {
+				e.exec(next)
+			}
+			e.path = e.path[:base]
+			for _, st := range c.suffix {
+				gid := st.Instr.GID()
+				if e.onPath[gid]--; e.onPath[gid] == 0 {
+					delete(e.onPath, gid)
+				}
+			}
+		} else if ok && unsat {
+			// The recorded continuation is infeasible under this caller's
+			// constraint prefix; live re-walking would have pruned it here.
+			e.notePrune()
+		}
+		if e.pruner != nil {
+			e.pruner.rollback(pm)
+		}
+		e.tracker.Rollback(tm)
+		e.g.Rollback(gm)
+		if !ok {
+			// A replay verification failed mid-apply: the canonical key
+			// collided across genuinely different configurations (64-bit
+			// hash odds). The continuation was rolled back; stop replaying
+			// the remaining events rather than risk compounding.
+			break events
+		}
+	}
+	chargeTo(rec.steps, rec.paths)
+	e.stats.SummaryPathsReplayed += rec.paths
+	e.stats.SummaryStepsReplayed += rec.steps
+	return true
+}

@@ -1,0 +1,153 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/minicc"
+	"repro/internal/oscorpus"
+	"repro/internal/pathval"
+	"repro/internal/typestate"
+)
+
+// TestSummaryEquivalence locks in the interprocedural summary contract:
+// across every corpus, checker set, and both modes (PATA, PATA-NA), the
+// default engine — which replays recorded callee effects at matching
+// call-site activations — must produce a byte-identical post-validation bug
+// report to the engine with summaries disabled, while executing fewer
+// Stage-1 steps.
+func TestSummaryEquivalence(t *testing.T) {
+	checkerSets := []struct {
+		name string
+		mk   func() []typestate.Checker
+	}{
+		{"core", typestate.CoreCheckers},
+		{"all", typestate.AllCheckers},
+	}
+	modes := []struct {
+		name string
+		mode core.Mode
+	}{
+		{"pata", core.ModePATA},
+		{"noalias", core.ModeNoAlias},
+	}
+	var stepsOn, stepsOff, hits, replayedSteps int64
+	specs := append(oscorpus.AllSpecs(), oscorpus.HelperHeavySpec())
+	for _, spec := range specs {
+		c := oscorpus.Generate(spec)
+		mod, err := minicc.LowerAll(c.Spec.Name, c.Sources)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cs := range checkerSets {
+			for _, m := range modes {
+				t.Run(spec.Name+"/"+cs.name+"/"+m.name, func(t *testing.T) {
+					mk := func(disable bool) core.Config {
+						cfg := core.Config{Checkers: cs.mk(), Mode: m.mode, NoSummaries: disable}
+						pathval.New().Install(&cfg)
+						return cfg
+					}
+					on := core.NewEngine(mod, mk(false)).Run()
+					off := core.NewEngine(mod, mk(true)).Run()
+					if got, want := bugReport(on), bugReport(off); got != want {
+						t.Errorf("bug reports differ:\n--- summaries on\n%s\n--- summaries off\n%s", got, want)
+					}
+					if on.Stats.StepsExecuted > off.Stats.StepsExecuted {
+						t.Errorf("summaries executed more steps: %d > %d",
+							on.Stats.StepsExecuted, off.Stats.StepsExecuted)
+					}
+					if off.Stats.SummaryHits != 0 || off.Stats.SummaryStepsReplayed != 0 {
+						t.Errorf("disabled run has summary counters: %+v", off.Stats)
+					}
+					stepsOn += on.Stats.StepsExecuted
+					stepsOff += off.Stats.StepsExecuted
+					hits += on.Stats.SummaryHits
+					replayedSteps += on.Stats.SummaryStepsReplayed
+				})
+			}
+		}
+	}
+	if hits == 0 {
+		t.Errorf("no summary hits across the corpora")
+	}
+	if stepsOn >= stepsOff {
+		t.Errorf("summaries did not reduce executed steps: %d vs %d", stepsOn, stepsOff)
+	} else {
+		t.Logf("steps executed: %d with summaries, %d without (%.1f%% reduction; %d hits, %d steps replayed)",
+			stepsOn, stepsOff, 100*float64(stepsOff-stepsOn)/float64(stepsOff), hits, replayedSteps)
+	}
+}
+
+// TestSummaryEquivalenceParallel repeats the equivalence check through the
+// pipelined scheduler: the per-worker engines carry their own per-entry
+// summary caches and must agree with the sequential engine byte-for-byte,
+// counters included.
+func TestSummaryEquivalenceParallel(t *testing.T) {
+	c := oscorpus.Generate(oscorpus.HelperHeavySpec())
+	mod, err := minicc.LowerAll(c.Spec.Name, c.Sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() core.Config {
+		cfg := core.Config{Checkers: typestate.AllCheckers(), ValidateWorkers: 2}
+		pathval.New().Install(&cfg)
+		return cfg
+	}
+	seq := core.NewEngine(mod, mk()).Run()
+	par := core.RunParallel(mod, mk(), 4)
+	if got, want := bugReport(par), bugReport(seq); got != want {
+		t.Errorf("parallel report differs under summaries:\n--- sequential\n%s\n--- parallel\n%s", got, want)
+	}
+	if seq.Stats.SummaryHits == 0 {
+		t.Errorf("expected summary hits on the helper-heavy corpus, stats: %+v", seq.Stats)
+	}
+	if par.Stats.SummaryHits != seq.Stats.SummaryHits ||
+		par.Stats.SummaryPathsReplayed != seq.Stats.SummaryPathsReplayed ||
+		par.Stats.SummaryStepsReplayed != seq.Stats.SummaryStepsReplayed {
+		t.Errorf("summary counters differ: sequential %+v vs parallel %+v", seq.Stats, par.Stats)
+	}
+}
+
+// TestSummaryBudgetCharging: a summarized run must not outlive the budget an
+// unsummarized exploration would have hit — replayed activations charge
+// their recorded in-callee cost, so the budget trips at the same logical
+// amount of work.
+func TestSummaryBudgetCharging(t *testing.T) {
+	// A flag-diamond cascade funnelling into one helper call per path: the
+	// first path records the helper (its continuation subtree is just the
+	// final return, so the recording completes long before any budget
+	// pressure), every later path replays, and the replayed steps must still
+	// count against the step budget.
+	var sb strings.Builder
+	sb.WriteString("int helper(int x) {\n\tint a = x + 1;\n\tint b = a + 2;\n\tint c = b * 3;\n\tint d = c - a;\n\treturn d;\n}\n")
+	sb.WriteString("int f(int mode) {\n")
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&sb, "\tint f%d = 0;\n\tif (mode & %d)\n\t\tf%d = %d;\n", i, 1<<i, i, i+1)
+	}
+	sb.WriteString("\tint s = helper(0);\n\treturn s")
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&sb, " + f%d", i)
+	}
+	sb.WriteString(";\n}\n")
+	mod, err := minicc.LowerAll("m", map[string]string{"a.c": sb.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{NoPrune: true, NoMemo: true, MaxStepsPerEntry: 2000, MaxPathsPerEntry: -1}
+	res := core.NewEngine(mod, cfg).Run()
+	if res.Stats.SummaryHits == 0 {
+		t.Fatalf("expected summary hits, stats: %+v", res.Stats)
+	}
+	if res.Stats.Budgeted != 1 {
+		t.Errorf("summarized run must still trip the charged budget: %+v", res.Stats)
+	}
+	if res.Stats.StepsExecuted >= 2000 {
+		t.Errorf("budget tripped on real steps alone (%d); replay charging had no effect", res.Stats.StepsExecuted)
+	}
+	if res.Stats.StepsExecuted+res.Stats.SummaryStepsReplayed < 2000 {
+		t.Errorf("charged steps (%d real + %d replayed) below the budget that tripped",
+			res.Stats.StepsExecuted, res.Stats.SummaryStepsReplayed)
+	}
+}

@@ -5,13 +5,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"repro/internal/oscorpus"
 )
 
 // BenchEntry is one cell of the pipeline benchmark grid: one corpus, one
 // engine variant, one Stage-1 worker count.
 type BenchEntry struct {
 	OS               string  `json:"os"`
-	Variant          string  `json:"variant"` // "defaults" or "no-prune-no-memo"
+	Variant          string  `json:"variant"` // "defaults", "no-prune-no-memo" or "no-summaries"
 	Workers          int     `json:"workers"`
 	WallClockMS      float64 `json:"wall_clock_ms"`
 	PathsExplored    int64   `json:"paths_explored"`
@@ -20,35 +22,49 @@ type BenchEntry struct {
 	MemoHits         int64   `json:"memo_hits"`
 	MemoPathsSkipped int64   `json:"memo_paths_skipped"`
 	MemoStepsSkipped int64   `json:"memo_steps_skipped"`
+	SummaryHits      int64   `json:"summary_hits"`
+	SummaryPaths     int64   `json:"summary_paths_replayed"`
+	SummarySteps     int64   `json:"summary_steps_replayed"`
 	Bugs             int     `json:"bugs"`
 }
 
 // BenchReport is the schema of BENCH_pipeline.json: the full grid plus the
-// aggregate reductions the pruning layers buy. Wall-clock values are
+// aggregate reductions the work-avoidance layers buy. Wall-clock values are
 // machine-dependent; the path/step counters are deterministic.
 type BenchReport struct {
 	Workload          string       `json:"workload"`
 	Entries           []BenchEntry `json:"entries"`
 	PathsReductionPct float64      `json:"paths_reduction_pct"`
 	StepsReductionPct float64      `json:"steps_reduction_pct"`
+	// SummaryStepsReductionPct is the share of Stage-1 executed steps the
+	// interprocedural callee summaries save on the helper-heavy corpus at
+	// workers=1 (defaults vs no-summaries, everything else identical).
+	SummaryStepsReductionPct float64 `json:"summary_steps_reduction_pct"`
 }
 
-// BenchPipeline runs the full two-stage pipeline over every corpus at
-// Stage-1 workers ∈ {1, 4}, once with the default engine (incremental
-// feasibility pruning + (block, state) memoization) and once with both
-// disabled, and collects wall-clock plus the pruning counters. The bug sets
-// of the two variants are identical by construction (the equivalence test
-// asserts it); only the explored work differs.
+// BenchPipeline runs the full two-stage pipeline over every corpus — the
+// four paper OSes plus the helper-heavy summary workload — at Stage-1
+// workers ∈ {1, 4} and three engine variants: the defaults (incremental
+// feasibility pruning + (block, state) memoization + interprocedural callee
+// summaries), no-prune-no-memo, and no-summaries. It collects wall-clock
+// plus the work-avoidance counters. The bug sets of all variants are
+// identical by construction (the equivalence tests assert it); only the
+// explored work differs.
 func BenchPipeline(w io.Writer) (*BenchReport, error) {
 	rep := &BenchReport{Workload: "oscorpus"}
 	var pOn, pOff, sOn, sOff int64
-	for _, c := range Corpora() {
+	var hhOn, hhOff int64
+	corpora := append(Corpora(), oscorpus.Generate(oscorpus.HelperHeavySpec()))
+	for _, c := range corpora {
 		for _, workers := range []int{1, 4} {
-			for _, variant := range []string{"defaults", "no-prune-no-memo"} {
+			for _, variant := range []string{"defaults", "no-prune-no-memo", "no-summaries"} {
 				cfg := PATAConfig()
-				if variant != "defaults" {
+				switch variant {
+				case "no-prune-no-memo":
 					cfg.NoPrune = true
 					cfg.NoMemo = true
+				case "no-summaries":
+					cfg.NoSummaries = true
 				}
 				run, err := RunPATAPipelined(c, cfg, "pata-bench", workers)
 				if err != nil {
@@ -65,15 +81,26 @@ func BenchPipeline(w io.Writer) (*BenchReport, error) {
 					MemoHits:         run.Stats.MemoHits,
 					MemoPathsSkipped: run.Stats.MemoPathsSkipped,
 					MemoStepsSkipped: run.Stats.MemoStepsSkipped,
+					SummaryHits:      run.Stats.SummaryHits,
+					SummaryPaths:     run.Stats.SummaryPathsReplayed,
+					SummarySteps:     run.Stats.SummaryStepsReplayed,
 					Bugs:             len(run.Reports),
 				})
 				if workers == 1 {
-					if variant == "defaults" {
+					switch variant {
+					case "defaults":
 						pOn += run.Stats.PathsExplored
 						sOn += run.Stats.StepsExecuted
-					} else {
+						if c.Spec.Name == "helper-heavy" {
+							hhOn = run.Stats.StepsExecuted
+						}
+					case "no-prune-no-memo":
 						pOff += run.Stats.PathsExplored
 						sOff += run.Stats.StepsExecuted
+					case "no-summaries":
+						if c.Spec.Name == "helper-heavy" {
+							hhOff = run.Stats.StepsExecuted
+						}
 					}
 				}
 			}
@@ -85,9 +112,14 @@ func BenchPipeline(w io.Writer) (*BenchReport, error) {
 	if sOff > 0 {
 		rep.StepsReductionPct = 100 * float64(sOff-sOn) / float64(sOff)
 	}
+	if hhOff > 0 {
+		rep.SummaryStepsReductionPct = 100 * float64(hhOff-hhOn) / float64(hhOff)
+	}
 	if w != nil {
 		fmt.Fprintf(w, "pipeline bench: %.1f%% fewer paths, %.1f%% fewer steps with pruning+memo on (workers=1)\n",
 			rep.PathsReductionPct, rep.StepsReductionPct)
+		fmt.Fprintf(w, "summary bench: %.1f%% fewer steps with callee summaries on helper-heavy (workers=1)\n",
+			rep.SummaryStepsReductionPct)
 	}
 	return rep, nil
 }

@@ -14,6 +14,11 @@ type CatSpec struct {
 	Name   string
 	Files  int
 	Filler int // bug-free functions across the category
+	// Helpers counts helper-heavy clusters (see helperShapes): drivers whose
+	// path explosion concentrates in repeated calls to small shared helpers,
+	// the shape interprocedural summaries collapse. Zero everywhere except
+	// the dedicated helper-heavy spec, so existing corpora are unchanged.
+	Helpers int
 	// Bugs seeded per type.
 	Bugs map[typestate.BugType]int
 	// Traps seeded per mechanism (see Trap.Mechanism).
@@ -145,6 +150,12 @@ func Generate(spec OSSpec) *Corpus {
 		}
 		for i := 0; i < cat.Filler; i++ {
 			shape := fillerShapes[i%len(fillerShapes)]
+			jobs = append(jobs, func() {
+				shape(newCtx(pick()))
+			})
+		}
+		for i := 0; i < cat.Helpers; i++ {
+			shape := helperShapes[i%len(helperShapes)]
 			jobs = append(jobs, func() {
 				shape(newCtx(pick()))
 			})

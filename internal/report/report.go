@@ -77,6 +77,8 @@ func WriteStats(w io.Writer, st core.Stats) {
 	fmt.Fprintf(w, "  pruned branches:     %d\n", st.PrunedBranches)
 	fmt.Fprintf(w, "  memo hits:           %d (paths skipped: %d, steps skipped: %d)\n",
 		st.MemoHits, st.MemoPathsSkipped, st.MemoStepsSkipped)
+	fmt.Fprintf(w, "  summary hits:        %d (paths replayed: %d, steps replayed: %d)\n",
+		st.SummaryHits, st.SummaryPathsReplayed, st.SummaryStepsReplayed)
 	fmt.Fprintf(w, "  repeated dropped:    %d\n", st.RepeatedDropped)
 	fmt.Fprintf(w, "  false dropped:       %d\n", st.FalseDropped)
 	fmt.Fprintf(w, "  verdict cache:       %d hits, %d misses\n",

@@ -1,0 +1,111 @@
+package smt
+
+// Substitute returns f with every variable that appears as a key in m
+// replaced by its mapped term. Unmapped variables are kept as-is, so callers
+// can rebase just the symbols they know about (the engine's summary replay
+// rebases alias-node symbols and leaves interned opaque symbols alone).
+// Formulas are immutable, so shared subtrees without substituted variables
+// are returned unchanged rather than copied.
+func Substitute(f Formula, m map[*Var]Term) Formula {
+	if len(m) == 0 {
+		return f
+	}
+	switch ff := f.(type) {
+	case *Atom:
+		x, y := substTerm(ff.X, m), substTerm(ff.Y, m)
+		if x == ff.X && y == ff.Y {
+			return f
+		}
+		return &Atom{Pred: ff.Pred, X: x, Y: y}
+	case *AndF:
+		fs, changed := substFormulas(ff.Fs, m)
+		if !changed {
+			return f
+		}
+		return &AndF{Fs: fs}
+	case *OrF:
+		fs, changed := substFormulas(ff.Fs, m)
+		if !changed {
+			return f
+		}
+		return &OrF{Fs: fs}
+	case *NotF:
+		sub := Substitute(ff.F, m)
+		if sub == ff.F {
+			return f
+		}
+		return &NotF{F: sub}
+	default: // *BoolLit
+		return f
+	}
+}
+
+func substFormulas(fs []Formula, m map[*Var]Term) ([]Formula, bool) {
+	changed := false
+	out := make([]Formula, len(fs))
+	for i, f := range fs {
+		out[i] = Substitute(f, m)
+		if out[i] != f {
+			changed = true
+		}
+	}
+	if !changed {
+		return fs, false
+	}
+	return out, true
+}
+
+func substTerm(t Term, m map[*Var]Term) Term {
+	switch tt := t.(type) {
+	case *Var:
+		if r, ok := m[tt]; ok {
+			return r
+		}
+		return t
+	case *BinTerm:
+		x, y := substTerm(tt.X, m), substTerm(tt.Y, m)
+		if x == tt.X && y == tt.Y {
+			return t
+		}
+		return &BinTerm{Op: tt.Op, X: x, Y: y}
+	default: // *IntLit
+		return t
+	}
+}
+
+// CollectVars appends every variable occurring in f into vars (deduplicated
+// by the set) and returns the extended slice. Order follows the first
+// occurrence in a left-to-right traversal, which is deterministic for
+// deterministically built formulas.
+func CollectVars(f Formula, vars []*Var, seen map[*Var]bool) []*Var {
+	switch ff := f.(type) {
+	case *Atom:
+		vars = collectTermVars(ff.X, vars, seen)
+		vars = collectTermVars(ff.Y, vars, seen)
+	case *AndF:
+		for _, sub := range ff.Fs {
+			vars = CollectVars(sub, vars, seen)
+		}
+	case *OrF:
+		for _, sub := range ff.Fs {
+			vars = CollectVars(sub, vars, seen)
+		}
+	case *NotF:
+		vars = CollectVars(ff.F, vars, seen)
+	}
+	return vars
+}
+
+func collectTermVars(t Term, vars []*Var, seen map[*Var]bool) []*Var {
+	switch tt := t.(type) {
+	case *Var:
+		if !seen[tt] {
+			seen[tt] = true
+			vars = append(vars, tt)
+		}
+	case *BinTerm:
+		vars = collectTermVars(tt.X, vars, seen)
+		vars = collectTermVars(tt.Y, vars, seen)
+	}
+	return vars
+}

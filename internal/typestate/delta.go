@@ -1,0 +1,75 @@
+package typestate
+
+import "repro/internal/aliasgraph"
+
+// DeltaOp is one forward-replayable tracker mutation: a state write or an
+// integer-property write on an abstract object. Node pointers reference the
+// graph the delta was extracted from; the engine re-expresses them through
+// canonical labels before reuse.
+type DeltaOp struct {
+	IsProp  bool
+	Checker int
+	Node    *aliasgraph.Node
+	Prop    string // property name (IsProp only)
+	State   State  // new state (state ops)
+	Val     int64  // new value (property ops)
+}
+
+// ExtractDelta returns the tracker mutations applied since mark and still in
+// effect, in application order. As with the alias graph's extractor, the
+// trail stores old values; new values are reconstructed backward — the
+// newest write to a slot left the slot's current value, and each earlier
+// write installed the old value recorded by the write after it. tuTouched
+// entries are skipped: replaying a state write through ReplayState recreates
+// the touched-set bookkeeping.
+func (t *Tracker) ExtractDelta(mark Mark) []DeltaOp {
+	seg := t.trail[int(mark):]
+	if len(seg) == 0 {
+		return nil
+	}
+	stateNew := make(map[int]State)
+	propNew := make(map[int]int64)
+	pendState := make(map[objKey]State)
+	seenState := make(map[objKey]bool)
+	pendProp := make(map[propKey]int64)
+	seenProp := make(map[propKey]bool)
+	for i := len(seg) - 1; i >= 0; i-- {
+		u := seg[i]
+		switch u.kind {
+		case tuState:
+			if seenState[u.sk] {
+				stateNew[i] = pendState[u.sk]
+			} else {
+				stateNew[i] = t.states[u.sk]
+				seenState[u.sk] = true
+			}
+			pendState[u.sk] = u.oldState
+		case tuProp:
+			if seenProp[u.pk] {
+				propNew[i] = pendProp[u.pk]
+			} else {
+				propNew[i] = t.props[u.pk]
+				seenProp[u.pk] = true
+			}
+			pendProp[u.pk] = u.oldProp
+		}
+	}
+	ops := make([]DeltaOp, 0, len(seg))
+	for i, u := range seg {
+		switch u.kind {
+		case tuState:
+			ops = append(ops, DeltaOp{Checker: u.sk.checker, Node: u.sk.node, State: stateNew[i]})
+		case tuProp:
+			ops = append(ops, DeltaOp{IsProp: true, Checker: u.pk.checker, Node: u.pk.node,
+				Prop: u.pk.prop, Val: propNew[i]})
+		}
+	}
+	return ops
+}
+
+// ReplayState re-applies a recorded state write, trailed like the original
+// (including touched-set maintenance). Property writes replay through the
+// public SetProp.
+func (t *Tracker) ReplayState(ci int, obj *aliasgraph.Node, s State) {
+	t.setState(ci, obj, s)
+}

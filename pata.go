@@ -58,6 +58,11 @@ type Config struct {
 	// on): without it, repeated identical basic-block configurations are
 	// re-explored.
 	NoMemo bool
+	// NoSummaries disables the Stage-1 interprocedural callee summaries
+	// (default on): without them, every call-site activation re-walks the
+	// callee even when a recorded activation with the same observable state
+	// could be replayed.
+	NoSummaries bool
 	// MaxCallDepth bounds interprocedural inlining (default 8).
 	MaxCallDepth int
 	// MaxPathsPerEntry bounds path enumeration per entry function
@@ -171,6 +176,7 @@ func (c Config) engineConfig() (core.Config, error) {
 		ValidateWorkers:         c.ValidateWorkers,
 		NoPrune:                 c.NoPrune,
 		NoMemo:                  c.NoMemo,
+		NoSummaries:             c.NoSummaries,
 	}
 	if c.NoAlias {
 		ec.Mode = core.ModeNoAlias
