@@ -462,3 +462,14 @@ func BenchmarkExtensions(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkIncremental regenerates the incremental-cache ablation (cold
+// populate, warm replay, mutation sweep on the linux corpus) without
+// writing BENCH_incremental.json.
+func BenchmarkIncremental(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.IncrementalTable(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -21,6 +21,8 @@
 //	-unroll N              loop unroll factor (default 1, the paper's rule)
 //	-workers N             analyze entry functions with N concurrent engines
 //	-validate-workers N    Stage-2 validation workers (0 = GOMAXPROCS)
+//	-cache-dir DIR         persist per-entry results in DIR for incremental re-runs
+//	-cache-max-bytes N     evict least-recently-used cache entries past N bytes
 //	-cpuprofile FILE       write a CPU profile of the analysis to FILE
 //	-memprofile FILE       write an allocation profile at exit to FILE
 package main
@@ -52,6 +54,8 @@ func main() {
 	unroll := flag.Int("unroll", 1, "loop unroll factor (paper default 1)")
 	workers := flag.Int("workers", 1, "analyze entry functions with N concurrent engines")
 	validateWorkers := flag.Int("validate-workers", 0, "Stage-2 validation workers when -workers > 1 (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "persist per-entry analysis results in this directory for incremental re-runs")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries once the cache exceeds this many bytes (0 = unlimited)")
 	witness := flag.Bool("witness", false, "print each bug's witness path and trigger values")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
@@ -67,6 +71,8 @@ func main() {
 		LoopUnroll:              *unroll,
 		Workers:                 *workers,
 		ValidateWorkers:         *validateWorkers,
+		CacheDir:                *cacheDir,
+		CacheMaxBytes:           *cacheMaxBytes,
 		WitnessPaths:            *witness,
 	}
 	if *checkers != "" {

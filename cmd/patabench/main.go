@@ -5,6 +5,7 @@
 //
 //	patabench -exp table4|table5|table6|table7|table8|fig11|fpaudit|cases|fsm|pruning|summaries|all
 //	patabench -exp bench [-bench-out BENCH_pipeline.json]
+//	patabench -exp incremental [-incremental-out BENCH_incremental.json]
 //
 // -cpuprofile/-memprofile write pprof profiles of the selected experiment,
 // for chasing regressions in the analysis hot loops.
@@ -21,8 +22,9 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table4, table5, table6, table7, table8, fig11, fpaudit, extensions, cases, fsm, pruning, summaries, bench, or all")
+	which := flag.String("exp", "all", "experiment: table4, table5, table6, table7, table8, fig11, fpaudit, extensions, cases, fsm, pruning, summaries, bench, incremental, or all")
 	benchOut := flag.String("bench-out", "BENCH_pipeline.json", "output path for -exp bench")
+	incOut := flag.String("incremental-out", "BENCH_incremental.json", "output path for -exp incremental")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	flag.Parse()
@@ -77,11 +79,16 @@ func main() {
 	run("pruning", func() error { _, err := exp.PruningTable(os.Stdout); return err })
 	run("summaries", func() error { _, err := exp.SummaryTable(os.Stdout); return err })
 
-	// bench writes BENCH_pipeline.json, so it only runs when asked for
-	// explicitly, never under -exp all.
+	// bench and incremental write BENCH_*.json files, so they only run when
+	// asked for explicitly, never under -exp all.
 	if *which == "bench" {
 		if err := exp.WriteBenchJSON(os.Stdout, *benchOut); err != nil {
 			fail("bench", err)
+		}
+	}
+	if *which == "incremental" {
+		if err := exp.WriteIncrementalJSON(os.Stdout, *incOut); err != nil {
+			fail("incremental", err)
 		}
 	}
 }

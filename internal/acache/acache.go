@@ -1,0 +1,193 @@
+// Package acache is the on-disk store behind the incremental analysis
+// cache: a flat directory of capsule files, each named by a content-derived
+// key (core computes entry keys from transitive function fingerprints and
+// verdict keys from candidate content; this package never interprets them).
+//
+// The store is deliberately forgiving: it is a cache, not a database. Every
+// write is atomic (temp file + rename, so a crashed run never leaves a
+// half-written capsule under a valid key), every read verifies a checksum
+// frame and treats any mismatch — truncation, bit rot, a format-version
+// bump — as a miss that also deletes the bad file, and Save errors are
+// swallowed (a full disk degrades to cold analysis, never to a failed run).
+// An optional byte cap evicts least-recently-used capsules after each
+// write; Load touches the file mtime so warm entries survive.
+package acache
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+const (
+	magic   uint32 = 0x50415443 // "PATC"
+	version uint32 = 1
+	// header: magic, version, payload length, FNV-64a payload checksum.
+	headerLen = 4 + 4 + 8 + 8
+	// ext marks store-owned files; eviction and sizing ignore anything else.
+	ext = ".capsule"
+)
+
+// Store is a directory-backed capsule cache. Safe for concurrent use.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu sync.Mutex
+}
+
+// Open prepares (creating if needed) the cache directory. maxBytes caps the
+// total size of stored capsules, enforced by LRU eviction after each Save;
+// 0 or negative means unlimited.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, maxBytes: maxBytes}, nil
+}
+
+// Dir returns the backing directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(key string) string { return filepath.Join(s.dir, key+ext) }
+
+// Load returns the payload stored under key. Any unreadable, truncated,
+// corrupted or version-mismatched file is a miss; the bad file is removed
+// so the slot heals on the next Save. A hit refreshes the file's mtime
+// (the LRU clock).
+func (s *Store) Load(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	payload, ok := decodeFrame(data)
+	if !ok {
+		os.Remove(p)
+		return nil, false
+	}
+	now := time.Now()
+	os.Chtimes(p, now, now) // best-effort LRU touch
+	return payload, true
+}
+
+// Save stores payload under key atomically: the frame is written to a temp
+// file in the same directory and renamed into place, so concurrent readers
+// and crashed writers only ever observe complete frames. Errors are
+// swallowed — a failed Save leaves the cache as it was. After a successful
+// write the byte cap is enforced by evicting oldest-mtime capsules.
+func (s *Store) Save(key string, payload []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(encodeFrame(payload))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	s.evictLocked()
+}
+
+// evictLocked removes oldest-mtime capsules until the store fits maxBytes.
+// The capsule just written has the newest mtime, so it is evicted last.
+func (s *Store) evictLocked() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	type fileInfo struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var files []fileInfo
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ext {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, fileInfo{
+			path: filepath.Join(s.dir, e.Name()), size: info.Size(), mtime: info.ModTime(),
+		})
+		total += info.Size()
+	}
+	if total <= s.maxBytes {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mtime.Equal(files[j].mtime) {
+			return files[i].mtime.Before(files[j].mtime)
+		}
+		return files[i].path < files[j].path
+	})
+	for _, f := range files {
+		if total <= s.maxBytes {
+			break
+		}
+		if os.Remove(f.path) == nil {
+			total -= f.size
+		}
+	}
+}
+
+// encodeFrame wraps payload in the header + checksum frame.
+func encodeFrame(payload []byte) []byte {
+	out := make([]byte, headerLen+len(payload))
+	binary.LittleEndian.PutUint32(out[0:], magic)
+	binary.LittleEndian.PutUint32(out[4:], version)
+	binary.LittleEndian.PutUint64(out[8:], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(out[16:], checksum(payload))
+	copy(out[headerLen:], payload)
+	return out
+}
+
+// decodeFrame verifies the frame and returns the payload, or ok=false for
+// any malformation: short header, wrong magic or version, length mismatch
+// (truncated or trailing garbage), or checksum failure.
+func decodeFrame(data []byte) ([]byte, bool) {
+	if len(data) < headerLen {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != magic {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint32(data[4:]) != version {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint64(data[8:])
+	if n != uint64(len(data)-headerLen) {
+		return nil, false
+	}
+	payload := data[headerLen:]
+	if binary.LittleEndian.Uint64(data[16:]) != checksum(payload) {
+		return nil, false
+	}
+	return payload, true
+}
+
+func checksum(payload []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(payload)
+	return h.Sum64()
+}

@@ -56,12 +56,16 @@ func FieldLabel(name string) Label { return Label{Kind: Field, Name: name} }
 // IndexLabel returns the label for an array index. Constant indexes use the
 // constant's text so a[3] aliases a[3]; non-constant indexes are labelled
 // with a token unique to the indexing instruction, reproducing the paper's
-// array-insensitivity (§5.2).
-func IndexLabel(idx cir.Value, instrGID int) Label {
+// array-insensitivity (§5.2). The site token must be content-stable across
+// unrelated module edits — these labels reach report output through alias
+// sets, and the incremental cache replays reports byte-for-byte — so call
+// sites derive it from cir.SiteToken (function name + function-local
+// instruction ID), not from the module-wide GID.
+func IndexLabel(idx cir.Value, site string) Label {
 	if c, ok := idx.(*cir.Const); ok && !c.IsStr {
 		return Label{Kind: Index, Name: fmt.Sprintf("%d", c.Val)}
 	}
-	return Label{Kind: Index, Name: fmt.Sprintf("i@%d", instrGID)}
+	return Label{Kind: Index, Name: "i@" + site}
 }
 
 // Node is an alias class.

@@ -214,19 +214,19 @@ func TestNestedRollback(t *testing.T) {
 
 func TestIndexLabels(t *testing.T) {
 	c3 := cir.IntConst(cir.I64, 3)
-	if l := IndexLabel(c3, 17); l.Name != "3" {
+	if l := IndexLabel(c3, "f#17"); l.Name != "3" {
 		t.Errorf("const index label = %q", l.Name)
 	}
 	i := reg("i")
-	l1 := IndexLabel(i, 17)
-	l2 := IndexLabel(i, 18)
+	l1 := IndexLabel(i, "f#17")
+	l2 := IndexLabel(i, "f#18")
 	if l1 == l2 {
 		t.Error("non-const indexes at different instructions must differ (array-insensitivity)")
 	}
 	g := New()
 	arr, e1, e2 := reg("arr"), reg("e1"), reg("e2")
-	g.GEP(e1, arr, IndexLabel(c3, 1))
-	g.GEP(e2, arr, IndexLabel(c3, 2))
+	g.GEP(e1, arr, IndexLabel(c3, "f#1"))
+	g.GEP(e2, arr, IndexLabel(c3, "f#2"))
 	if !g.SameClass(e1, e2) {
 		t.Error("a[3] must alias a[3] regardless of instruction")
 	}

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/cir"
+	"repro/internal/hmix"
 )
 
 // Graph is the module call graph.
@@ -95,6 +96,34 @@ func (g *Graph) EntryFunctions() []*cir.Function {
 func (g *Graph) IsEntry(name string) bool {
 	fn, ok := g.Mod.Funcs[name]
 	return ok && !fn.IsDecl() && len(g.Callers[name]) == 0
+}
+
+// EntryKey returns the content-addressed cache key of entry function fn:
+// the salt (the analysis-relevant configuration digest supplied by the
+// caller) mixed with the content fingerprint of fn and of every defined
+// function statically reachable from it, in sorted name order. The key is
+// unchanged exactly when nothing the entry's analysis can observe changed:
+// editing any reachable function, adding or removing a reachable
+// definition (definedness itself changes the reachable set), or renaming a
+// function all produce a different key, while edits to unreachable code
+// leave it alone. Calls to external declarations are opaque to the engine
+// (no inlining, unconstrained result), so declaration bodies do not
+// contribute — but a declaration *becoming* defined enters the reachable
+// set and invalidates.
+func (g *Graph) EntryKey(fn *cir.Function, salt uint64) uint64 {
+	reach := g.ReachableFrom(fn.Name)
+	names := make([]string, 0, len(reach))
+	for n := range reach {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := hmix.Mix2(salt, hmix.Str(fn.Name))
+	for _, n := range names {
+		if f, ok := g.Mod.Funcs[n]; ok {
+			h = hmix.Mix3(h, hmix.Str(n), f.Fingerprint())
+		}
+	}
+	return h
 }
 
 // ReachableFrom returns the set of defined functions reachable from root

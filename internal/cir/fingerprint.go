@@ -1,0 +1,70 @@
+package cir
+
+import (
+	"strconv"
+
+	"repro/internal/hmix"
+)
+
+// Fingerprint returns a deterministic content hash of the function: name,
+// defining file, linkage, category, signature, and every instruction's
+// rendering plus source position, in block order. Two functions with the
+// same fingerprint analyze identically in any module context that also
+// agrees on the fingerprints of their callees, which is what the
+// incremental cache's transitive entry keys (callgraph.EntryKey) build on.
+//
+// The hash deliberately includes source positions: bug reports print
+// file:line, so a pure line shift must invalidate the cached capsules even
+// though the analysis semantics are unchanged. It also includes register
+// names, so renaming a local re-analyzes the function — conservative, never
+// stale (see TestFingerprintLocalRenameSensitivity).
+//
+// The result is memoized on the function. The first call is not safe for
+// concurrent use; compute fingerprints from one goroutine (RunParallel's
+// key pass does) before sharing the module.
+func (fn *Function) Fingerprint() uint64 {
+	if fn.fp != 0 {
+		return fn.fp
+	}
+	h := hmix.Mix3(hmix.Str(fn.Name), hmix.Str(fn.File), boolBits(fn.Static))
+	h = hmix.Mix2(h, hmix.Str(fn.Category))
+	if fn.Typ != nil {
+		h = hmix.Mix2(h, hmix.Str(fn.Typ.String()))
+	}
+	for _, p := range fn.Params {
+		h = hmix.Mix4(h, uint64(p.ID), hmix.Str(p.Name), hmix.Str(p.Typ.String()))
+	}
+	for _, blk := range fn.Blocks {
+		h = hmix.Mix2(h, hmix.Str(blk.Name))
+		for _, in := range blk.Instrs {
+			pos := in.Position()
+			h = hmix.Mix4(h, hmix.Str(in.String()), hmix.Str(pos.File), uint64(int64(pos.Line)))
+		}
+	}
+	if h == 0 {
+		h = 1 // keep 0 free as the "not computed" sentinel
+	}
+	fn.fp = h
+	return h
+}
+
+func boolBits(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// SiteToken returns a content-stable, module-unique token for an
+// instruction: the enclosing function's name plus the function-local
+// instruction ID. Unlike the module-wide GID it does not shift when other
+// functions change, so it is safe in data the incremental cache persists —
+// in particular the alias-graph index labels that surface in a report's
+// alias-set access paths.
+func SiteToken(in Instr) string {
+	fn := ""
+	if blk := in.Block(); blk != nil && blk.Fn != nil {
+		fn = blk.Fn.Name
+	}
+	return fn + "#" + strconv.Itoa(in.LID())
+}

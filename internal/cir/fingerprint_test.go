@@ -1,0 +1,110 @@
+package cir_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cir"
+	"repro/internal/minicc"
+	"repro/internal/oscorpus"
+)
+
+// describe renders the fingerprint's preimage — everything Fingerprint
+// hashes — so a fingerprint collision between two functions with different
+// descriptions is a genuine hash-quality failure, not a duplicate body.
+func describe(fn *cir.Function) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s|%s|%v|%s", fn.Name, fn.File, fn.Static, fn.Category)
+	if fn.Typ != nil {
+		sb.WriteString("|" + fn.Typ.String())
+	}
+	for _, p := range fn.Params {
+		fmt.Fprintf(&sb, "|p%d %s %s", p.ID, p.Name, p.Typ.String())
+	}
+	fn.Instrs(func(in cir.Instr) {
+		pos := in.Position()
+		fmt.Fprintf(&sb, "\n%s @%s:%d", in.String(), pos.File, pos.Line)
+	})
+	return sb.String()
+}
+
+// TestFingerprintDistinctAcrossCorpora is the fingerprint-quality smoke
+// fuzz: every function body across all synthetic OS corpora (thousands of
+// generated variants) must hash to a distinct fingerprint unless the bodies
+// are truly identical. It also pins determinism: re-lowering the same
+// sources reproduces every fingerprint bit-for-bit.
+func TestFingerprintDistinctAcrossCorpora(t *testing.T) {
+	specs := append(oscorpus.AllSpecs(), oscorpus.HelperHeavySpec())
+	byFP := make(map[uint64]string)
+	total := 0
+	for _, spec := range specs {
+		c := oscorpus.Generate(spec)
+		mod, err := minicc.LowerAll(spec.Name, c.Sources)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		mod2, err := minicc.LowerAll(spec.Name, c.Sources)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fn := range mod.SortedFuncs() {
+			fp := fn.Fingerprint()
+			desc := describe(fn)
+			if prev, dup := byFP[fp]; dup && prev != desc {
+				t.Errorf("fingerprint collision %#x:\n--- %s\n--- %s",
+					fp, firstLine(prev), firstLine(desc))
+			}
+			byFP[fp] = desc
+			if fp2 := mod2.Funcs[fn.Name].Fingerprint(); fp2 != fp {
+				t.Errorf("%s: fingerprint not deterministic: %#x vs %#x", fn.Name, fp, fp2)
+			}
+			total++
+		}
+	}
+	if total < 500 {
+		t.Fatalf("only %d functions fingerprinted; corpora shrank and the smoke test lost its power", total)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// TestFingerprintLocalRenameSensitivity documents the conservative design
+// choice: the fingerprint hashes instruction renderings including register
+// names, so renaming a local (semantically irrelevant) changes the hash and
+// re-analyzes the function. Conservative invalidation is deliberate — the
+// cache may re-run work it could have kept, but it can never serve a stale
+// capsule.
+func TestFingerprintLocalRenameSensitivity(t *testing.T) {
+	lower := func(body string) uint64 {
+		t.Helper()
+		mod, err := minicc.LowerAll("m", map[string]string{"f.c": body})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn := mod.Funcs["f"]
+		if fn == nil {
+			t.Fatal("function f not lowered")
+		}
+		return fn.Fingerprint()
+	}
+	base := lower("int f(int a) {\n\tint x = a + 1;\n\treturn x;\n}\n")
+	renamed := lower("int f(int a) {\n\tint y = a + 1;\n\treturn y;\n}\n")
+	if base == renamed {
+		t.Error("renaming a local did not change the fingerprint (expected conservative sensitivity)")
+	}
+	// Line shifts invalidate too: reports print file:line, so a shifted
+	// body must not replay a capsule carrying stale positions.
+	shifted := lower("\n\nint f(int a) {\n\tint x = a + 1;\n\treturn x;\n}\n")
+	if base == shifted {
+		t.Error("shifting the body by two lines did not change the fingerprint")
+	}
+	if again := lower("int f(int a) {\n\tint x = a + 1;\n\treturn x;\n}\n"); again != base {
+		t.Error("identical source lowered twice produced different fingerprints")
+	}
+}

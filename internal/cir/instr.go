@@ -17,26 +17,36 @@ type Instr interface {
 	Block() *Block
 	// GID returns the module-unique instruction ID.
 	GID() int
+	// LID returns the function-local instruction ID (1-based, in block
+	// order). Unlike the GID, it is stable under edits to other functions,
+	// so it is safe to embed in data that outlives one module instance —
+	// alias-graph index tokens that reach report output, and the capsules
+	// the incremental cache persists across runs.
+	LID() int
 	// Position returns the source position.
 	Position() Pos
 	String() string
 
 	setBlock(*Block)
 	setGID(int)
+	setLID(int)
 }
 
 // instr carries the bookkeeping shared by all instructions.
 type instr struct {
 	blk *Block
 	gid int
+	lid int
 	Pos Pos
 }
 
 func (i *instr) Block() *Block     { return i.blk }
 func (i *instr) GID() int          { return i.gid }
+func (i *instr) LID() int          { return i.lid }
 func (i *instr) Position() Pos     { return i.Pos }
 func (i *instr) setBlock(b *Block) { i.blk = b }
 func (i *instr) setGID(id int)     { i.gid = id }
+func (i *instr) setLID(id int)     { i.lid = id }
 
 // Alloca allocates stack storage for one value of type Elem and defines Dst
 // as its address (Dst has type *Elem).

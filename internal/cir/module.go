@@ -61,6 +61,7 @@ type Function struct {
 	Category string
 
 	nextReg int
+	fp      uint64 // memoized Fingerprint; 0 = not yet computed
 }
 
 // IsDecl reports whether fn has no body (an external declaration).
@@ -187,14 +188,20 @@ func (m *Module) SortedFuncs() []*Function {
 	return out
 }
 
-// AssignGIDs numbers every instruction in the module with a unique ID.
-// It must be called once after construction and before analysis.
+// AssignGIDs numbers every instruction in the module with a unique ID, and
+// every instruction within a function with a function-local ID (LID). GIDs
+// shift whenever any function changes; LIDs depend only on the owning
+// function's body, which is what the incremental cache's content addressing
+// needs. It must be called once after construction and before analysis.
 func (m *Module) AssignGIDs() {
 	m.nextGID = 0
 	for _, fn := range m.SortedFuncs() {
+		lid := 0
 		fn.Instrs(func(in Instr) {
 			m.nextGID++
 			in.setGID(m.nextGID)
+			lid++
+			in.setLID(lid)
 		})
 	}
 }

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cir"
+	"repro/internal/minicc"
+	"repro/internal/typestate"
+)
+
+const capsuleSrc = `
+int helper_deref(int *p) {
+	if (!p)
+		return *p;
+	return 0;
+}
+
+static int entry_npd(int *q, int flag) {
+	if (flag)
+		return helper_deref(q);
+	return 1;
+}
+
+static int entry_leak(int n) {
+	char *buf = malloc(n);
+	if (n > 4)
+		return -1;
+	free(buf);
+	return 0;
+}
+
+static int entry_clean(int a) {
+	int b = a + 1;
+	return b * 2;
+}
+`
+
+func lowerCapsuleSrc(t *testing.T) *cir.Module {
+	t.Helper()
+	mod, err := minicc.LowerAll("capsule", map[string]string{"capsule.c": capsuleSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+// TestAnalysisSaltInvalidation pins the cache-key contract: every
+// analysis-relevant Config field, the checker set, the intrinsics table,
+// and the module's globals each change the salt, while irrelevant knobs
+// (worker counts, trace hooks) do not.
+func TestAnalysisSaltInvalidation(t *testing.T) {
+	mod := lowerCapsuleSrc(t)
+	valid := func(*PossibleBug, Mode) ValidationOutcome { return ValidationOutcome{Feasible: true} }
+	base := Config{Validate: true, ValidatePath: valid}
+	salt := func(c Config) uint64 { return c.withDefaults().analysisSalt(mod) }
+	s0 := salt(base)
+
+	mut := []struct {
+		name string
+		mod  func(c Config) Config
+	}{
+		{"Mode", func(c Config) Config { c.Mode = ModeNoAlias; return c }},
+		{"MaxCallDepth", func(c Config) Config { c.MaxCallDepth = 3; return c }},
+		{"MaxPathsPerEntry", func(c Config) Config { c.MaxPathsPerEntry = 128; return c }},
+		{"MaxStepsPerEntry", func(c Config) Config { c.MaxStepsPerEntry = 5000; return c }},
+		{"MaxContinuationsPerCall", func(c Config) Config { c.MaxContinuationsPerCall = 7; return c }},
+		{"LoopUnroll", func(c Config) Config { c.LoopUnroll = 2; return c }},
+		{"NoPrune", func(c Config) Config { c.NoPrune = true; return c }},
+		{"NoMemo", func(c Config) Config { c.NoMemo = true; return c }},
+		{"NoSummaries", func(c Config) Config { c.NoSummaries = true; return c }},
+		{"Validate", func(c Config) Config { c.Validate = false; return c }},
+		{"Checkers", func(c Config) Config {
+			c.Checkers = append(typestate.CoreCheckers(), typestate.NewDBZ())
+			return c
+		}},
+		{"CheckerSubset", func(c Config) Config {
+			c.Checkers = []typestate.Checker{typestate.NewNPD()}
+			return c
+		}},
+		{"Intrinsics", func(c Config) Config {
+			c.Intrinsics = typestate.DefaultIntrinsics().Add(typestate.IntrAlloc, "my_alloc")
+			return c
+		}},
+	}
+	seen := map[uint64]string{s0: "base"}
+	for _, m := range mut {
+		s := salt(m.mod(base))
+		if prev, dup := seen[s]; dup {
+			t.Errorf("%s: salt %#x collides with %s", m.name, s, prev)
+		}
+		seen[s] = m.name
+	}
+
+	// Equivalent spellings of the defaults hash identically.
+	explicit := base
+	explicit.MaxCallDepth = 8
+	explicit.MaxPathsPerEntry = 4096
+	explicit.MaxStepsPerEntry = 1_000_000
+	explicit.MaxContinuationsPerCall = 2
+	explicit.LoopUnroll = 1
+	explicit.Checkers = typestate.CoreCheckers()
+	explicit.Intrinsics = typestate.DefaultIntrinsics()
+	if salt(explicit) != s0 {
+		t.Error("explicitly spelled defaults changed the salt")
+	}
+
+	// Analysis-irrelevant knobs must NOT invalidate.
+	irr := base
+	irr.ValidateWorkers = 9
+	if salt(irr) != s0 {
+		t.Error("ValidateWorkers changed the salt")
+	}
+
+	// A new global invalidates.
+	mod2 := lowerCapsuleSrc(t)
+	mod2.AddGlobal("extra_global", cir.I32)
+	if base.withDefaults().analysisSalt(mod2) == s0 {
+		t.Error("adding a global did not change the salt")
+	}
+}
+
+// TestCapsuleRoundTrip and the other EntryCache end-to-end tests live in
+// capsule_ext_test.go (package core_test): they install the pathval
+// validator, which imports core, so an in-package test would cycle.

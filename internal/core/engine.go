@@ -99,6 +99,14 @@ type Config struct {
 	// concurrently and must be safe for concurrent use (pathval's
 	// Validator is). The sequential Engine.Run ignores this field.
 	ValidateWorkers int
+	// Cache, when set, enables content-addressed incremental analysis:
+	// RunParallel keys each entry function by the fingerprints of every
+	// reachable function plus the analysis-relevant configuration (see
+	// analysisSalt), replays cached per-entry results on key hits, and
+	// stores freshly computed ones on misses. Stage-2 verdicts are cached
+	// the same way. The sequential Engine.Run ignores this field;
+	// AnalyzeSources routes to RunParallel whenever a cache is configured.
+	Cache EntryCache
 	// Trace, when set, observes every executed instruction with the alias
 	// graph as updated for it (Figure 6 line 30). For debugging and for
 	// tests that assert the paper's worked examples (Figure 7).
@@ -237,6 +245,14 @@ type Stats struct {
 	// reused instead of re-solved.
 	ValidationCacheHits   int64
 	ValidationCacheMisses int64
+	// CacheEntriesHit/CacheEntriesMiss count incremental-cache outcomes per
+	// entry function: a hit replays the entry's stored Stage-1 result (and
+	// its recorded exploration counters) without re-running the DFS;
+	// CacheStepsSkipped accumulates the StepsExecuted those hits avoided.
+	// All three are zero when Config.Cache is nil.
+	CacheEntriesHit  int64
+	CacheEntriesMiss int64
+	CacheStepsSkipped int64
 	// WorkSteals counts Stage-1 tasks a worker claimed from another
 	// worker's queue (RunParallel's work-stealing scheduler; zero for
 	// sequential runs).
@@ -298,6 +314,13 @@ type Engine struct {
 	dedup    map[dedupKey]*PossibleBug
 	possible []*PossibleBug
 	stats    Stats
+
+	// suffixArena bump-allocates the short path-suffix copies captured by
+	// emitCandidate and captureCont into open memo/summary recordings. The
+	// suffixes die with the per-entry memo and summary tables, so the arena
+	// resets at each analyzeEntry; pooling them keeps the candidate-emission
+	// hot path from hammering the allocator with tiny slices.
+	suffixArena stepArena
 
 	stackAddrMemo map[*cir.Register]bool
 }
@@ -422,6 +445,7 @@ func (e *Engine) analyzeEntry(fn *cir.Function) {
 	e.sums = nil
 	e.sumFailed = nil
 	e.sumStack = e.sumStack[:0]
+	e.suffixArena.reset()
 	if e.Cfg.Mode == ModePATA && e.Cfg.Trace == nil {
 		if e.Cfg.PruneInfeasible() {
 			e.pruner = newPruner()
@@ -918,7 +942,7 @@ func (e *Engine) applyAlias(in cir.Instr) {
 		if na {
 			return
 		}
-		e.g.GEP(t.Dst, t.Base, aliasgraph.IndexLabel(t.Index, t.GID()))
+		e.g.GEP(t.Dst, t.Base, aliasgraph.IndexLabel(t.Index, cir.SiteToken(t)))
 	}
 }
 
@@ -975,7 +999,7 @@ func (e *Engine) emitCandidate(ci, origin int, bugInstr cir.Instr, extra *typest
 			f.poisoned = true
 			continue
 		}
-		suffix := make([]PathStep, len(full)-f.pathLen)
+		suffix := e.suffixArena.alloc(len(full) - f.pathLen)
 		copy(suffix, full[f.pathLen:])
 		f.emits = append(f.emits, memoEmit{
 			ci: ci, origin: origin, bugInstr: bugInstr,
@@ -994,7 +1018,7 @@ func (e *Engine) emitCandidate(ci, origin int, bugInstr cir.Instr, extra *typest
 			sf.poisoned = true
 			continue
 		}
-		suffix := make([]PathStep, len(full)-sf.pathLen)
+		suffix := e.suffixArena.alloc(len(full) - sf.pathLen)
 		copy(suffix, full[sf.pathLen:])
 		sf.events = append(sf.events, sumEvent{emit: &sumEmit{
 			ci: ci, origin: origin, bugInstr: bugInstr,

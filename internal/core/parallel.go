@@ -125,8 +125,19 @@ func (e *Engine) runEntryDelta(fn *cir.Function) *Result {
 //
 // workers <= 0 selects GOMAXPROCS. The merged Stats sum the per-worker
 // counters; AnalysisTime is the wall-clock of the Stage-1 parallel phase
-// (including validation work overlapped with it), ValidationTime the
-// wall-clock of draining the remaining validation work after Stage 1.
+// (including incremental-cache replay and validation work overlapped with
+// it), ValidationTime the wall-clock of draining the remaining validation
+// work after Stage 1.
+//
+// When cfg.Cache is set, the run is incremental: each entry function is
+// keyed by callgraph.EntryKey (transitive content fingerprint mixed with
+// the analysisSalt configuration digest). Entries whose key hits the cache
+// skip Stage 1 entirely — their stored capsule replays through the normal
+// merge, so candidate order, cross-entry dedup, and the report are
+// byte-identical to a cold run — and Stage-2 verdicts are served from the
+// cache per candidate the same way. Misses run live and are stored for the
+// next run. Every cache failure mode (corrupt file, unresolvable ref,
+// unrepresentable candidate) degrades to a cold path, never to an error.
 func RunParallel(mod *cir.Module, cfg Config, workers int) *Result {
 	cfg = cfg.withDefaults()
 	if workers <= 0 {
@@ -138,12 +149,13 @@ func RunParallel(mod *cir.Module, cfg Config, workers int) *Result {
 	}
 	cg := callgraph.Build(mod)
 	entries := cg.EntryFunctions()
+	cache := cfg.Cache
 	if workers > len(entries) {
 		workers = len(entries)
 	}
-	if workers <= 1 && vworkers <= 1 {
-		// Nothing to overlap: the sequential engine is equivalent and
-		// avoids the scheduling machinery.
+	if cache == nil && workers <= 1 && vworkers <= 1 {
+		// Nothing to overlap and nothing to replay: the sequential engine
+		// is equivalent and avoids the scheduling machinery.
 		return newEngineWithCG(mod, cfg, cg).Run()
 	}
 	if workers < 1 {
@@ -152,14 +164,41 @@ func RunParallel(mod *cir.Module, cfg Config, workers int) *Result {
 
 	start := time.Now()
 
+	// Incremental lookup: probe the cache for every entry up front. Hits
+	// are replayed straight into the merge; only misses are scheduled onto
+	// the Stage-1 deques.
+	var salt uint64
+	var keys []string
+	hits := make(map[int]*Result)
+	if cache != nil {
+		salt = cfg.analysisSalt(mod)
+		byName := checkersByName(cfg)
+		keys = make([]string, len(entries))
+		for i, fn := range entries {
+			keys[i] = entryKeyString(cg.EntryKey(fn, salt))
+			if data, ok := cache.Load(keys[i]); ok {
+				if res, ok := decodeCapsule(data, mod, byName); ok {
+					hits[i] = res
+				}
+			}
+		}
+	}
+	live := make([]entryTask, 0, len(entries)-len(hits))
+	for i, fn := range entries {
+		if _, hit := hits[i]; hit {
+			continue
+		}
+		live = append(live, entryTask{idx: i, fn: fn})
+	}
+
 	// Seed the deques: entries sorted by descending size, striped across
 	// workers so every deque starts with a mix of large and small tasks.
-	sorted := make([]entryTask, len(entries))
+	sorted := make([]entryTask, len(live))
 	sizes := make([]int, len(entries))
 	for i, fn := range entries {
-		sorted[i] = entryTask{idx: i, fn: fn}
 		sizes[i] = fn.NumInstrs()
 	}
+	copy(sorted, live)
 	sort.SliceStable(sorted, func(i, j int) bool {
 		si, sj := sizes[sorted[i].idx], sizes[sorted[j].idx]
 		if si != sj {
@@ -201,26 +240,53 @@ func RunParallel(mod *cir.Module, cfg Config, workers int) *Result {
 					}
 					atomic.AddInt64(&steals, 1)
 				}
-				resCh <- entryResult{idx: t.idx, res: eng.runEntryDelta(t.fn)}
+				res := eng.runEntryDelta(t.fn)
+				if cache != nil {
+					// Encode before the merger sees res: the merger mutates
+					// first-sighting candidates in place (AltPaths). A
+					// non-encodable entry just isn't cached.
+					if data, ok := encodeCapsule(res); ok {
+						cache.Save(keys[t.idx], data)
+					}
+					res.Stats.CacheEntriesMiss = 1
+				}
+				resCh <- entryResult{idx: t.idx, res: res}
 			}
 		}(w)
 	}
+	// Hit injector: replayed entries enter the same merge stream as live
+	// ones; the merger's reorder buffer restores entry order.
+	wg1.Add(1)
+	go func() {
+		defer wg1.Done()
+		for idx, res := range hits {
+			resCh <- entryResult{idx: idx, res: res}
+		}
+	}()
 
 	// Stage-2 validator pool: primary witness paths are validated as soon
 	// as the merger materializes a candidate. A candidate whose primary
 	// path is feasible never consults its alternates (exactly as the
 	// sequential validator short-circuits), so its verdict is final here.
+	//
+	// With an incremental cache the eager pool stays idle: verdicts are
+	// keyed by the candidate's full witness set (primary plus alternates),
+	// which is only final after the merge, so validation runs as a single
+	// post-merge cached pass instead.
 	validate := cfg.Validate && cfg.ValidatePath != nil
+	eager := validate && cache == nil
 	vtasks := make(chan *candRec, 4*vworkers)
 	var wgV sync.WaitGroup
-	for i := 0; i < vworkers; i++ {
-		wgV.Add(1)
-		go func() {
-			defer wgV.Done()
-			for rec := range vtasks {
-				rec.out = cfg.ValidatePath(rec.prim, cfg.Mode)
-			}
-		}()
+	if eager {
+		for i := 0; i < vworkers; i++ {
+			wgV.Add(1)
+			go func() {
+				defer wgV.Done()
+				for rec := range vtasks {
+					rec.out = cfg.ValidatePath(rec.prim, cfg.Mode)
+				}
+			}()
+		}
 	}
 
 	// Merger: replays per-entry candidate lists in entry-name order through
@@ -265,6 +331,9 @@ func RunParallel(mod *cir.Module, cfg Config, workers int) *Result {
 				s.Typestates += r.Stats.Typestates
 				s.TypestatesUnaware += r.Stats.TypestatesUnaware
 				s.RepeatedDropped += r.Stats.RepeatedDropped
+				s.CacheEntriesHit += r.Stats.CacheEntriesHit
+				s.CacheEntriesMiss += r.Stats.CacheEntriesMiss
+				s.CacheStepsSkipped += r.Stats.CacheStepsSkipped
 				for _, pb := range r.Possible {
 					k := mergeKey{checker: pb.Checker.Name(), origin: pb.OriginGID, bug: pb.BugInstr.GID()}
 					if prev, dup := seen[k]; dup {
@@ -284,7 +353,7 @@ func RunParallel(mod *cir.Module, cfg Config, workers int) *Result {
 					merged.Possible = append(merged.Possible, pb)
 					rec := &candRec{pb: pb}
 					recs = append(recs, rec)
-					if validate {
+					if eager {
 						prim := *pb
 						prim.AltPaths = nil
 						rec.prim = &prim
@@ -308,7 +377,44 @@ func RunParallel(mod *cir.Module, cfg Config, workers int) *Result {
 	// Stage-1 barrier because alternates keep arriving until the merge is
 	// complete.
 	vstart := time.Now()
-	if validate {
+	if validate && cache != nil {
+		// Cached validation: one pass over the merged candidates, each
+		// validated as a whole (primary, then alternates on infeasibility —
+		// exactly the sequential Validator semantics) so the stored verdict
+		// covers the candidate's final witness set. Replayed verdicts carry
+		// zero in-memory verdict-cache counters: those describe solver work,
+		// and a disk hit does none.
+		vc := make(chan *candRec)
+		var wgF sync.WaitGroup
+		for i := 0; i < vworkers; i++ {
+			wgF.Add(1)
+			go func() {
+				defer wgF.Done()
+				for rec := range vc {
+					key, keyed := verdictKey(salt, rec.pb, cfg.Mode)
+					if keyed {
+						if data, hit := cache.Load(key); hit {
+							if out, ok := decodeVerdict(data); ok {
+								rec.out = out
+								continue
+							}
+						}
+					}
+					rec.out = cfg.ValidatePath(rec.pb, cfg.Mode)
+					if keyed {
+						if data, ok := encodeVerdict(rec.out); ok {
+							cache.Save(key, data)
+						}
+					}
+				}
+			}()
+		}
+		for _, rec := range recs {
+			vc <- rec
+		}
+		close(vc)
+		wgF.Wait()
+	} else if validate {
 		altCh := make(chan *candRec)
 		var wgA sync.WaitGroup
 		for i := 0; i < vworkers; i++ {

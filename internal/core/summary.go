@@ -303,7 +303,8 @@ func (e *Engine) captureCont(sf *sumFrame, ret *cir.Ret) {
 		preSteps: e.steps + e.stepsCharged - sf.steps0 - sf.extSteps,
 		prePaths: e.paths + e.pathsCharged - sf.paths0 - sf.extPaths,
 	}
-	c.suffix = append([]PathStep(nil), e.path[sf.pathLen:]...)
+	c.suffix = e.suffixArena.alloc(len(e.path) - sf.pathLen)
+	copy(c.suffix, e.path[sf.pathLen:])
 	for _, op := range e.g.ExtractDelta(sf.gmark) {
 		from, ok1 := e.refOf(sf, op.From)
 		to, ok2 := e.refOf(sf, op.To)

@@ -1,0 +1,246 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/acache"
+	"repro/internal/callgraph"
+	"repro/internal/cir"
+	"repro/internal/core"
+	"repro/internal/minicc"
+	"repro/internal/oscorpus"
+	"repro/internal/report"
+)
+
+// IncEntry is one phase of the incremental-analysis experiment on one
+// corpus: a cold run that populates the cache, a warm re-run over unchanged
+// sources, or a re-run after mutating K functions.
+type IncEntry struct {
+	OS    string `json:"os"`
+	Phase string `json:"phase"` // "cold", "warm" or "mutate-K"
+	// MutatedFuncs is K for mutate phases, 0 otherwise.
+	MutatedFuncs int   `json:"mutated_funcs"`
+	Entries      int   `json:"entries"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	// ExpectedMisses is the number of entry functions whose reachable set
+	// intersects the mutated functions — the exact invalidation frontier
+	// the content-addressed keys must produce (equals CacheMisses when the
+	// cache is working; -1 for phases where it isn't defined).
+	ExpectedMisses  int     `json:"expected_misses"`
+	StepsExecuted   int64   `json:"steps_executed"`
+	StepsSkipped    int64   `json:"steps_skipped"`
+	SkippedStepsPct float64 `json:"skipped_steps_pct"`
+	// ReportIdentical reports whether this phase's rendered bug report is
+	// byte-identical to an uncached run over the same sources.
+	ReportIdentical bool    `json:"report_identical"`
+	Bugs            int     `json:"bugs"`
+	WallClockMS     float64 `json:"wall_clock_ms"`
+}
+
+// IncrementalReport is the schema of BENCH_incremental.json. The counters
+// and report-equality bits are deterministic; wall-clock values are
+// machine-dependent.
+type IncrementalReport struct {
+	Workload string     `json:"workload"`
+	Entries  []IncEntry `json:"entries"`
+	// WarmHitRatePct / WarmStepsSkippedPct aggregate the unchanged-source
+	// warm re-runs across all corpora: the share of entries served from
+	// the cache and the share of Stage-1 steps that replay avoided.
+	WarmHitRatePct      float64 `json:"warm_hit_rate_pct"`
+	WarmStepsSkippedPct float64 `json:"warm_steps_skipped_pct"`
+}
+
+// incRun lowers sources and analyzes them through the pipelined scheduler,
+// with or without a cache, returning the result, the lowered module (for
+// call-graph queries), and the rendered bug report.
+func incRun(name string, sources map[string]string, cache core.EntryCache) (*core.Result, *cir.Module, string, error) {
+	mod, err := minicc.LowerAll(name, sources)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	cfg := PATAConfig()
+	cfg.Cache = cache
+	res := core.RunParallel(mod, cfg, 4)
+	var sb strings.Builder
+	report.WriteBugs(&sb, res.Bugs)
+	return res, mod, sb.String(), nil
+}
+
+// expectedMisses counts the entry functions whose statically reachable set
+// includes at least one mutated function — the invalidation frontier.
+func expectedMisses(mod *cir.Module, mutated []string) int {
+	cg := callgraph.Build(mod)
+	n := 0
+	for _, fn := range cg.EntryFunctions() {
+		reach := cg.ReachableFrom(fn.Name)
+		for _, m := range mutated {
+			if reach[m] {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// skippedPct is the share of the run's accounted Stage-1 steps that were
+// replayed from the cache rather than executed live. Replayed entries
+// contribute their recorded counters to StepsExecuted (so warm stats mirror
+// a cold run's), which is why the denominator is the total, not a sum.
+func skippedPct(skipped, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(skipped) / float64(total)
+}
+
+// IncrementalTable exercises the content-addressed incremental cache over
+// every corpus: a cold run populates a fresh cache, a warm re-run over the
+// unchanged sources must replay every entry (byte-identical report, Stage-1
+// steps skipped), and on the linux corpus a mutation sweep perturbs
+// K ∈ {1, 4, 16} functions and checks that exactly the entries reaching a
+// mutated function re-analyze — with the report still matching an uncached
+// run over the mutated sources.
+func IncrementalTable(w io.Writer) (*IncrementalReport, error) {
+	rep := &IncrementalReport{Workload: "oscorpus"}
+	var warmHits, warmEntries, warmSkipped, warmExecuted int64
+
+	phase := func(c string, e IncEntry) {
+		rep.Entries = append(rep.Entries, e)
+		if w != nil {
+			fmt.Fprintf(w, "  %-8s %-9s entries=%d hits=%d misses=%d steps-skipped=%.1f%% identical=%v (%.1fms)\n",
+				c, e.Phase, e.Entries, e.CacheHits, e.CacheMisses, e.SkippedStepsPct, e.ReportIdentical, e.WallClockMS)
+		}
+	}
+
+	for _, c := range Corpora() {
+		dir, err := os.MkdirTemp("", "pata-inc-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		store, err := acache.Open(dir, 0)
+		if err != nil {
+			return nil, err
+		}
+
+		// Uncached reference: what a cacheless run reports.
+		_, _, refRep, err := incRun(c.Spec.Name, c.Sources, nil)
+		if err != nil {
+			return nil, err
+		}
+
+		start := time.Now()
+		coldRes, _, coldRep, err := incRun(c.Spec.Name, c.Sources, store)
+		if err != nil {
+			return nil, err
+		}
+		phase(c.Spec.Name, IncEntry{
+			OS: c.Spec.Name, Phase: "cold",
+			Entries:         coldRes.Stats.EntryFunctions,
+			CacheHits:       coldRes.Stats.CacheEntriesHit,
+			CacheMisses:     coldRes.Stats.CacheEntriesMiss,
+			ExpectedMisses:  coldRes.Stats.EntryFunctions,
+			StepsExecuted:   coldRes.Stats.StepsExecuted,
+			StepsSkipped:    coldRes.Stats.CacheStepsSkipped,
+			SkippedStepsPct: skippedPct(coldRes.Stats.CacheStepsSkipped, coldRes.Stats.StepsExecuted),
+			ReportIdentical: coldRep == refRep,
+			Bugs:            len(coldRes.Bugs),
+			WallClockMS:     float64(time.Since(start).Microseconds()) / 1000,
+		})
+
+		start = time.Now()
+		warmRes, _, warmRep, err := incRun(c.Spec.Name, c.Sources, store)
+		if err != nil {
+			return nil, err
+		}
+		phase(c.Spec.Name, IncEntry{
+			OS: c.Spec.Name, Phase: "warm",
+			Entries:         warmRes.Stats.EntryFunctions,
+			CacheHits:       warmRes.Stats.CacheEntriesHit,
+			CacheMisses:     warmRes.Stats.CacheEntriesMiss,
+			ExpectedMisses:  0,
+			StepsExecuted:   warmRes.Stats.StepsExecuted,
+			StepsSkipped:    warmRes.Stats.CacheStepsSkipped,
+			SkippedStepsPct: skippedPct(warmRes.Stats.CacheStepsSkipped, warmRes.Stats.StepsExecuted),
+			ReportIdentical: warmRep == coldRep,
+			Bugs:            len(warmRes.Bugs),
+			WallClockMS:     float64(time.Since(start).Microseconds()) / 1000,
+		})
+		warmHits += warmRes.Stats.CacheEntriesHit
+		warmEntries += int64(warmRes.Stats.EntryFunctions)
+		warmSkipped += warmRes.Stats.CacheStepsSkipped
+		warmExecuted += warmRes.Stats.StepsExecuted
+
+		// Mutation sweep on the linux corpus: each K mutates the ORIGINAL
+		// sources (the cold capsules stay valid for untouched entries), so
+		// the miss set is exactly the entries reaching a mutated function.
+		if c.Spec.Name != oscorpus.LinuxSpec().Name {
+			continue
+		}
+		for _, k := range []int{1, 4, 16} {
+			mutated, names := oscorpus.Mutate(c.Sources, k, int64(100+k))
+			_, _, mutRefRep, err := incRun(c.Spec.Name, mutated, nil)
+			if err != nil {
+				return nil, err
+			}
+			start = time.Now()
+			mutRes, mutMod, mutRep, err := incRun(c.Spec.Name, mutated, store)
+			if err != nil {
+				return nil, err
+			}
+			phase(c.Spec.Name, IncEntry{
+				OS: c.Spec.Name, Phase: fmt.Sprintf("mutate-%d", k),
+				MutatedFuncs:    len(names),
+				Entries:         mutRes.Stats.EntryFunctions,
+				CacheHits:       mutRes.Stats.CacheEntriesHit,
+				CacheMisses:     mutRes.Stats.CacheEntriesMiss,
+				ExpectedMisses:  expectedMisses(mutMod, names),
+				StepsExecuted:   mutRes.Stats.StepsExecuted,
+				StepsSkipped:    mutRes.Stats.CacheStepsSkipped,
+				SkippedStepsPct: skippedPct(mutRes.Stats.CacheStepsSkipped, mutRes.Stats.StepsExecuted),
+				ReportIdentical: mutRep == mutRefRep,
+				Bugs:            len(mutRes.Bugs),
+				WallClockMS:     float64(time.Since(start).Microseconds()) / 1000,
+			})
+		}
+	}
+	if warmEntries > 0 {
+		rep.WarmHitRatePct = 100 * float64(warmHits) / float64(warmEntries)
+	}
+	rep.WarmStepsSkippedPct = skippedPct(warmSkipped, warmExecuted)
+	if w != nil {
+		fmt.Fprintf(w, "incremental: warm hit rate %.1f%%, warm steps skipped %.1f%%\n",
+			rep.WarmHitRatePct, rep.WarmStepsSkippedPct)
+	}
+	return rep, nil
+}
+
+// WriteIncrementalJSON runs IncrementalTable and writes the report to path
+// (conventionally BENCH_incremental.json at the repo root).
+func WriteIncrementalJSON(w io.Writer, path string) error {
+	rep, err := IncrementalTable(w)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if w != nil {
+		fmt.Fprintf(w, "wrote %s (%d entries)\n", path, len(rep.Entries))
+	}
+	return nil
+}

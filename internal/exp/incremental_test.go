@@ -1,0 +1,129 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/acache"
+	"repro/internal/oscorpus"
+)
+
+// TestIncrementalEquivalence pins the tentpole contract on a real corpus:
+// a warm re-run over unchanged sources serves every entry from the cache,
+// renders a byte-identical report, and skips ≥90% of Stage-1 steps; after
+// mutating one function, exactly the entries reaching it re-analyze and the
+// report still matches a cacheless run over the mutated sources.
+func TestIncrementalEquivalence(t *testing.T) {
+	c := oscorpus.Generate(oscorpus.ZephyrSpec())
+	store, err := acache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, refRep, err := incRun(c.Spec.Name, c.Sources, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, _, coldRep, err := incRun(c.Spec.Name, c.Sources, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldRep != refRep {
+		t.Fatal("cold cached report differs from the uncached reference")
+	}
+	if coldRes.Stats.CacheEntriesHit != 0 {
+		t.Fatalf("cold run hit %d entries in a fresh cache", coldRes.Stats.CacheEntriesHit)
+	}
+
+	warmRes, _, warmRep, err := incRun(c.Spec.Name, c.Sources, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmRep != refRep {
+		t.Fatal("warm report is not byte-identical to the cold run")
+	}
+	if warmRes.Stats.CacheEntriesMiss != 0 ||
+		warmRes.Stats.CacheEntriesHit != int64(warmRes.Stats.EntryFunctions) {
+		t.Fatalf("warm run: hit=%d miss=%d of %d entries",
+			warmRes.Stats.CacheEntriesHit, warmRes.Stats.CacheEntriesMiss, warmRes.Stats.EntryFunctions)
+	}
+	if pct := skippedPct(warmRes.Stats.CacheStepsSkipped, warmRes.Stats.StepsExecuted); pct < 90 {
+		t.Fatalf("warm run skipped only %.1f%% of Stage-1 steps, want >= 90%%", pct)
+	}
+	if warmRes.Stats.Constraints != coldRes.Stats.Constraints {
+		t.Errorf("replayed Stage-2 constraint count %d != cold %d",
+			warmRes.Stats.Constraints, coldRes.Stats.Constraints)
+	}
+
+	mutated, names := oscorpus.Mutate(c.Sources, 1, 7)
+	if len(names) != 1 {
+		t.Fatalf("mutated %v, want exactly one function", names)
+	}
+	_, _, mutRefRep, err := incRun(c.Spec.Name, mutated, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutRes, mutMod, mutRep, err := incRun(c.Spec.Name, mutated, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mutRep != mutRefRep {
+		t.Fatal("post-mutation report differs from an uncached run over the mutated sources")
+	}
+	want := expectedMisses(mutMod, names)
+	if int(mutRes.Stats.CacheEntriesMiss) != want {
+		t.Errorf("mutation invalidated %d entries, want exactly the frontier %d",
+			mutRes.Stats.CacheEntriesMiss, want)
+	}
+	if want < 1 || want >= mutRes.Stats.EntryFunctions {
+		t.Errorf("degenerate frontier %d of %d entries; pick a better-connected mutation seed",
+			want, mutRes.Stats.EntryFunctions)
+	}
+}
+
+// TestIncrementalCorruptTolerance damages capsule files on disk between a
+// cold and a warm run — one truncated mid-frame, one overwritten with
+// garbage — and checks the warm run degrades to re-analysis (misses) while
+// still rendering the byte-identical report.
+func TestIncrementalCorruptTolerance(t *testing.T) {
+	c := oscorpus.Generate(oscorpus.ZephyrSpec())
+	dir := t.TempDir()
+	store, err := acache.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, coldRep, err := incRun(c.Spec.Name, c.Sources, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	caps, err := filepath.Glob(filepath.Join(dir, "e*.capsule"))
+	if err != nil || len(caps) < 2 {
+		t.Fatalf("want >= 2 capsule files, got %d (%v)", len(caps), err)
+	}
+	data, err := os.ReadFile(caps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(caps[0], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(caps[1], []byte("not a capsule frame at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	warmRes, _, warmRep, err := incRun(c.Spec.Name, c.Sources, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmRep != coldRep {
+		t.Fatal("report changed after on-disk corruption; fallback must re-analyze, not misreport")
+	}
+	if warmRes.Stats.CacheEntriesMiss < 2 {
+		t.Errorf("only %d misses after corrupting two capsules", warmRes.Stats.CacheEntriesMiss)
+	}
+	if warmRes.Stats.CacheEntriesHit == 0 {
+		t.Error("no hits at all: corruption of two files should not flush the whole cache")
+	}
+}

@@ -1,0 +1,104 @@
+package oscorpus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Mutate returns a copy of sources with k function bodies perturbed, plus
+// the sorted names of the mutated functions. It drives the incremental
+// cache's invalidation experiments: the perturbation is semantically inert
+// (an initialized, unused local appended to the definition's signature
+// line, so no line number shifts and no finding changes), but it changes
+// the lowered body and therefore the function's content fingerprint —
+// exactly the entries whose reachable set includes a mutated function must
+// re-analyze, and they must reproduce their previous findings.
+//
+// The choice of functions is deterministic in seed. k is clamped to the
+// number of mutable definitions found.
+func Mutate(sources map[string]string, k int, seed int64) (map[string]string, []string) {
+	type site struct {
+		file string
+		line int // index into the file's lines
+		name string
+	}
+	var sites []site
+	files := make([]string, 0, len(sources))
+	for f := range sources {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	lines := make(map[string][]string, len(sources))
+	for _, f := range files {
+		ls := strings.Split(sources[f], "\n")
+		lines[f] = ls
+		for i, l := range ls {
+			name, ok := defName(l)
+			if !ok {
+				continue
+			}
+			sites = append(sites, site{file: f, line: i, name: name})
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(sites), func(i, j int) { sites[i], sites[j] = sites[j], sites[i] })
+	if k > len(sites) {
+		k = len(sites)
+	}
+	if k < 0 {
+		k = 0
+	}
+	out := make(map[string]string, len(sources))
+	for f, s := range sources {
+		out[f] = s
+	}
+	var names []string
+	for i := 0; i < k; i++ {
+		st := sites[i]
+		ls := lines[st.file]
+		// The seed is part of the identifier so differently-seeded
+		// mutations of the same function never produce identical bodies
+		// (and therefore never share a content fingerprint).
+		ls[st.line] = ls[st.line] + fmt.Sprintf(" int __pata_mut%d_%d = %d;", seed, i, i)
+		names = append(names, st.name)
+	}
+	for i := 0; i < k; i++ {
+		f := sites[i].file
+		out[f] = strings.Join(lines[f], "\n")
+	}
+	sort.Strings(names)
+	return out, names
+}
+
+// defName recognizes a generated function-definition line — an unindented
+// single-line signature ending in ") {" — and extracts the function name.
+// Control statements are indented and aggregate initializers end
+// differently, so the shape check suffices for generated corpora.
+func defName(line string) (string, bool) {
+	if line == "" || line[0] == ' ' || line[0] == '\t' {
+		return "", false
+	}
+	if !strings.HasSuffix(strings.TrimRight(line, " "), ") {") {
+		return "", false
+	}
+	open := strings.IndexByte(line, '(')
+	if open <= 0 {
+		return "", false
+	}
+	head := strings.TrimSpace(line[:open])
+	sp := strings.LastIndexAny(head, " \t*")
+	if sp < 0 {
+		return "", false
+	}
+	name := head[sp+1:]
+	if name == "" || strings.ContainsAny(name, "=;,{}") {
+		return "", false
+	}
+	switch strings.Fields(head)[0] {
+	case "static", "int", "char", "void", "long", "unsigned", "struct":
+		return name, true
+	}
+	return "", false
+}

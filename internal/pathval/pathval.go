@@ -279,7 +279,7 @@ func (r *replayer) replay(bug *core.PossibleBug, steps []core.PathStep) {
 			r.countUnaware(t.Dst.Typ)
 		case *cir.IndexAddr:
 			if r.mode != core.ModeNoAlias {
-				r.g.GEP(t.Dst, t.Base, aliasgraph.IndexLabel(t.Index, t.GID()))
+				r.g.GEP(t.Dst, t.Base, aliasgraph.IndexLabel(t.Index, cir.SiteToken(t)))
 			}
 			r.countUnaware(t.Dst.Typ)
 		case *cir.BinOp:

@@ -83,6 +83,8 @@ func WriteStats(w io.Writer, st core.Stats) {
 	fmt.Fprintf(w, "  false dropped:       %d\n", st.FalseDropped)
 	fmt.Fprintf(w, "  verdict cache:       %d hits, %d misses\n",
 		st.ValidationCacheHits, st.ValidationCacheMisses)
+	fmt.Fprintf(w, "  incremental cache:   %d entries hit, %d missed (steps skipped: %d)\n",
+		st.CacheEntriesHit, st.CacheEntriesMiss, st.CacheStepsSkipped)
 	fmt.Fprintf(w, "  work steals:         %d\n", st.WorkSteals)
 	fmt.Fprintf(w, "  analysis time:       %v\n", st.AnalysisTime)
 	fmt.Fprintf(w, "  validation time:     %v\n", st.ValidationTime)

@@ -14,6 +14,7 @@ package typestate
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/aliasgraph"
 	"repro/internal/cir"
@@ -113,6 +114,23 @@ func (t *Intrinsics) Add(kind Intrinsic, names ...string) *Intrinsics {
 
 // Classify returns the intrinsic kind of callee.
 func (t *Intrinsics) Classify(callee string) Intrinsic { return t.byName[callee] }
+
+// Digest returns an order-independent content hash of the table: sorted
+// (name, kind) pairs. The incremental analysis cache folds it into every
+// entry key, so adding, removing or reclassifying an intrinsic invalidates
+// all cached results.
+func (t *Intrinsics) Digest() uint64 {
+	names := make([]string, 0, len(t.byName))
+	for n := range t.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := uint64(len(names))
+	for _, n := range names {
+		h = hmix.Mix3(h, hmix.Str(n), uint64(t.byName[n]))
+	}
+	return h
+}
 
 // DefaultIntrinsics returns the allocator/lock table for Linux-style and
 // IoT-OS-style code (kmalloc, k_malloc, tos_mmheap_alloc, ...).

@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/acache"
 	"repro/internal/core"
 	"repro/internal/minicc"
 	"repro/internal/pathval"
@@ -88,6 +89,19 @@ type Config struct {
 	// WitnessPaths renders each bug's witness path (source lines with
 	// branch directions) into Bug.Witness.
 	WitnessPaths bool
+	// CacheDir, when non-empty, enables content-addressed incremental
+	// analysis: per-entry results and Stage-2 verdicts persist in this
+	// directory, keyed by the fingerprints of every function the entry can
+	// reach plus the analysis configuration. A warm re-run over unchanged
+	// sources replays from the cache — the findings are byte-identical to
+	// a cold run — and after an edit only entries that can reach a changed
+	// function re-analyze. The directory is created if missing; corrupted
+	// or stale files silently fall back to cold analysis.
+	CacheDir string
+	// CacheMaxBytes caps the cache directory's total size; least-recently
+	// used capsules are evicted past it. 0 means unlimited. Ignored when
+	// CacheDir is empty.
+	CacheMaxBytes int64
 }
 
 // Bug is one validated finding.
@@ -184,6 +198,13 @@ func (c Config) engineConfig() (core.Config, error) {
 	if !c.SkipValidation {
 		pathval.New().Install(&ec)
 	}
+	if c.CacheDir != "" {
+		store, err := acache.Open(c.CacheDir, c.CacheMaxBytes)
+		if err != nil {
+			return core.Config{}, fmt.Errorf("pata: cache: %w", err)
+		}
+		ec.Cache = store
+	}
 	return ec, nil
 }
 
@@ -199,7 +220,7 @@ func AnalyzeSources(name string, sources map[string]string, cfg Config) (*Result
 		return nil, err
 	}
 	var res *core.Result
-	if cfg.Workers > 1 || cfg.ValidateWorkers > 1 {
+	if cfg.Workers > 1 || cfg.ValidateWorkers > 1 || ec.Cache != nil {
 		res = core.RunParallel(mod, ec, cfg.Workers)
 	} else {
 		res = core.NewEngine(mod, ec).Run()
