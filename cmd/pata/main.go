@@ -21,6 +21,9 @@
 //	-unroll N              loop unroll factor (default 1, the paper's rule)
 //	-workers N             analyze entry functions with N concurrent engines
 //	-validate-workers N    Stage-2 validation workers (0 = GOMAXPROCS)
+//	-entry-timeout D       wall-clock budget per entry function (0 = none)
+//	-run-timeout D         wall-clock budget for the whole run (0 = none)
+//	-max-retries N         degrade-ladder retries per sick entry (0 = default 1)
 //	-cache-dir DIR         persist per-entry results in DIR for incremental re-runs
 //	-cache-max-bytes N     evict least-recently-used cache entries past N bytes
 //	-cpuprofile FILE       write a CPU profile of the analysis to FILE
@@ -56,6 +59,9 @@ func main() {
 	validateWorkers := flag.Int("validate-workers", 0, "Stage-2 validation workers when -workers > 1 (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "persist per-entry analysis results in this directory for incremental re-runs")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries once the cache exceeds this many bytes (0 = unlimited)")
+	entryTimeout := flag.Duration("entry-timeout", 0, "wall-clock budget per entry function, e.g. 30s (0 = no deadline); sick entries retry on the degrade ladder and are reported as incomplete")
+	runTimeout := flag.Duration("run-timeout", 0, "wall-clock budget for the whole analysis (0 = no deadline); on expiry the partial result is reported")
+	maxRetries := flag.Int("max-retries", 0, "degrade-ladder retries for a timed-out or panicking entry (0 = default 1, negative = none)")
 	witness := flag.Bool("witness", false, "print each bug's witness path and trigger values")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
@@ -74,6 +80,9 @@ func main() {
 		CacheDir:                *cacheDir,
 		CacheMaxBytes:           *cacheMaxBytes,
 		WitnessPaths:            *witness,
+		EntryTimeout:            *entryTimeout,
+		RunTimeout:              *runTimeout,
+		MaxRetries:              *maxRetries,
 	}
 	if *checkers != "" {
 		cfg.Checkers = strings.Split(*checkers, ",")
@@ -128,9 +137,10 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(struct {
-			Bugs  []pata.Bug `json:"bugs"`
-			Stats pata.Stats `json:"stats"`
-		}{Bugs: res.Bugs, Stats: res.Stats}); err != nil {
+			Bugs       []pata.Bug             `json:"bugs"`
+			Incomplete []pata.IncompleteEntry `json:"incomplete,omitempty"`
+			Stats      pata.Stats             `json:"stats"`
+		}{Bugs: res.Bugs, Incomplete: res.Incomplete, Stats: res.Stats}); err != nil {
 			fmt.Fprintln(os.Stderr, "pata:", err)
 			exit(1)
 		}
@@ -141,6 +151,9 @@ func main() {
 	}
 	if len(res.Bugs) == 0 {
 		fmt.Println("no bugs found")
+		// Result.String (the branch below) already renders the incomplete
+		// section; without bugs it must still be visible.
+		report.WriteIncomplete(os.Stdout, res.Incomplete)
 	} else {
 		fmt.Print(res)
 		if *witness {

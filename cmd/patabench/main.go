@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	patabench -exp table4|table5|table6|table7|table8|fig11|fpaudit|cases|fsm|pruning|summaries|all
+//	patabench -exp table4|table5|table6|table7|table8|fig11|fpaudit|cases|fsm|pruning|summaries|degrade|all
 //	patabench -exp bench [-bench-out BENCH_pipeline.json]
 //	patabench -exp incremental [-incremental-out BENCH_incremental.json]
 //
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table4, table5, table6, table7, table8, fig11, fpaudit, extensions, cases, fsm, pruning, summaries, bench, incremental, or all")
+	which := flag.String("exp", "all", "experiment: table4, table5, table6, table7, table8, fig11, fpaudit, extensions, cases, fsm, pruning, summaries, degrade, bench, incremental, or all")
 	benchOut := flag.String("bench-out", "BENCH_pipeline.json", "output path for -exp bench")
 	incOut := flag.String("incremental-out", "BENCH_incremental.json", "output path for -exp incremental")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
@@ -78,6 +78,7 @@ func main() {
 	run("cases", func() error { _, err := exp.Cases(os.Stdout); return err })
 	run("pruning", func() error { _, err := exp.PruningTable(os.Stdout); return err })
 	run("summaries", func() error { _, err := exp.SummaryTable(os.Stdout); return err })
+	run("degrade", func() error { _, err := exp.DegradeTable(os.Stdout); return err })
 
 	// bench and incremental write BENCH_*.json files, so they only run when
 	// asked for explicitly, never under -exp all.

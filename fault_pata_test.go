@@ -1,0 +1,75 @@
+package pata
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestUnusableCacheDirDegradesToUncached pins the graceful-degradation
+// contract at the API level: an unusable CacheDir warns and runs uncached
+// instead of failing the analysis.
+func TestUnusableCacheDirDegradesToUncached(t *testing.T) {
+	base := t.TempDir()
+	blocker := filepath.Join(base, "not-a-dir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{CacheDir: filepath.Join(blocker, "cache")}
+	res, err := AnalyzeSources("demo", map[string]string{"demo.c": demoSrc}, cfg)
+	if err != nil {
+		t.Fatalf("unusable cache dir failed the run: %v", err)
+	}
+	if len(res.Bugs) != 1 {
+		t.Fatalf("bugs = %d, want 1", len(res.Bugs))
+	}
+	if res.Stats.CacheEntriesHit != 0 && res.Stats.CacheEntriesMiss != 0 {
+		t.Errorf("run was not uncached: %+v", res.Stats)
+	}
+}
+
+// TestEntryTimeoutHealthyRunUnchanged: a generous per-entry deadline routes
+// through the isolation machinery but must not change findings on healthy
+// code.
+func TestEntryTimeoutHealthyRunUnchanged(t *testing.T) {
+	src := map[string]string{"demo.c": demoSrc}
+	plain, err := AnalyzeSources("demo", src, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded, err := AnalyzeSources("demo", src, Config{EntryTimeout: time.Minute, MaxRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != guarded.String() {
+		t.Errorf("EntryTimeout changed a healthy run:\n--- plain\n%s--- guarded\n%s", plain, guarded)
+	}
+	if len(guarded.Incomplete) != 0 {
+		t.Errorf("healthy run reported incomplete entries: %+v", guarded.Incomplete)
+	}
+}
+
+// TestCancelledContextYieldsPartialResult: a pre-cancelled context returns a
+// well-formed Result whose entries are all reported as cancelled.
+func TestCancelledContextYieldsPartialResult(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := AnalyzeSourcesCtx(ctx, "demo", map[string]string{"demo.c": demoSrc}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Incomplete) != 1 || res.Incomplete[0].Reason != "cancelled" {
+		t.Fatalf("incomplete = %+v, want one cancelled entry", res.Incomplete)
+	}
+	if res.Stats.EntryFunctions != 1 {
+		t.Errorf("EntryFunctions = %d, want 1", res.Stats.EntryFunctions)
+	}
+	out := res.String()
+	if !strings.Contains(out, "incomplete analysis (1 entries):") ||
+		!strings.Contains(out, "probe(): cancelled") {
+		t.Errorf("report missing incomplete section:\n%s", out)
+	}
+}

@@ -42,11 +42,21 @@ type Store struct {
 
 // Open prepares (creating if needed) the cache directory. maxBytes caps the
 // total size of stored capsules, enforced by LRU eviction after each Save;
-// 0 or negative means unlimited.
+// 0 or negative means unlimited. A directory that cannot be created or
+// written to is reported here, once, so callers can degrade to an uncached
+// run instead of discovering the problem as silently-swallowed Save errors.
 func Open(dir string, maxBytes int64) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	// Probe writability: Save swallows errors by design, so an unwritable
+	// directory would otherwise pass Open and never cache anything.
+	probe, err := os.CreateTemp(dir, ".tmp-probe-*")
+	if err != nil {
+		return nil, err
+	}
+	probe.Close()
+	os.Remove(probe.Name())
 	return &Store{dir: dir, maxBytes: maxBytes}, nil
 }
 

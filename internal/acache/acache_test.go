@@ -192,3 +192,36 @@ func TestUnlimitedNeverEvicts(t *testing.T) {
 		t.Fatalf("%d entries evicted with no byte cap", misses)
 	}
 }
+
+// TestOpenUnusableDirFails pins the graceful-degradation contract: Open must
+// report an unusable CacheDir so callers can fall back to an uncached run,
+// rather than handing out a Store whose Saves silently vanish. A regular
+// file as a parent path component fails MkdirAll for any user (including
+// root, for whom permission bits alone don't block writes).
+func TestOpenUnusableDirFails(t *testing.T) {
+	base := t.TempDir()
+	blocker := filepath.Join(base, "not-a-dir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(filepath.Join(blocker, "cache"), 0); err == nil {
+		t.Fatal("Open under a regular file succeeded")
+	}
+}
+
+// TestOpenUnwritableDirFails covers the probe for a directory that exists
+// but rejects writes. Permission bits don't constrain root, so the check is
+// skipped there.
+func TestOpenUnwritableDirFails(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("permission bits don't block root")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if _, err := Open(dir, 0); err == nil {
+		t.Fatal("Open of a read-only directory succeeded")
+	}
+}

@@ -9,7 +9,10 @@ import (
 
 func findings(t *testing.T, tool Tool, src string) []Finding {
 	t.Helper()
-	mod := minicc.MustLower("m", map[string]string{"t.c": src})
+	mod, err := minicc.LowerAll("m", map[string]string{"t.c": src})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return Run(tool, mod)
 }
 

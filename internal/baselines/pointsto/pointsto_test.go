@@ -9,7 +9,10 @@ import (
 
 func analyze(t *testing.T, src string) *Analysis {
 	t.Helper()
-	mod := minicc.MustLower("m", map[string]string{"t.c": src})
+	mod, err := minicc.LowerAll("m", map[string]string{"t.c": src})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return Run(mod)
 }
 

@@ -8,7 +8,10 @@ import (
 
 func leaks(t *testing.T, src string) []Finding {
 	t.Helper()
-	mod := minicc.MustLower("m", map[string]string{"t.c": src})
+	mod, err := minicc.LowerAll("m", map[string]string{"t.c": src})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return Run(mod)
 }
 

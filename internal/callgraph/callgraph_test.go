@@ -3,8 +3,18 @@ package callgraph
 import (
 	"testing"
 
+	"repro/internal/cir"
 	"repro/internal/minicc"
 )
+
+func lower(t *testing.T, src string) *cir.Module {
+	t.Helper()
+	mod, err := minicc.LowerAll("m", map[string]string{"a.c": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
 
 const src = `
 static int helper(int a) { return a + 1; }
@@ -16,7 +26,7 @@ int unused_decl(int a);
 `
 
 func TestBuild(t *testing.T) {
-	mod := minicc.MustLower("m", map[string]string{"a.c": src})
+	mod := lower(t, src)
 	g := Build(mod)
 	if got := g.Callees["top"]; len(got) != 2 {
 		t.Errorf("top callees = %v", got)
@@ -30,7 +40,7 @@ func TestBuild(t *testing.T) {
 }
 
 func TestEntryFunctions(t *testing.T) {
-	mod := minicc.MustLower("m", map[string]string{"a.c": src})
+	mod := lower(t, src)
 	g := Build(mod)
 	entries := map[string]bool{}
 	for _, fn := range g.EntryFunctions() {
@@ -53,7 +63,7 @@ func TestEntryFunctions(t *testing.T) {
 }
 
 func TestIsEntryAndReachable(t *testing.T) {
-	mod := minicc.MustLower("m", map[string]string{"a.c": src})
+	mod := lower(t, src)
 	g := Build(mod)
 	if !g.IsEntry("top") || g.IsEntry("helper") || g.IsEntry("missing") {
 		t.Error("IsEntry misclassifies")
@@ -70,12 +80,12 @@ func TestIsEntryAndReachable(t *testing.T) {
 }
 
 func TestRecursionDoesNotLoop(t *testing.T) {
-	mod := minicc.MustLower("m", map[string]string{"a.c": `
+	mod := lower(t, `
 int even(int n);
 int odd(int n) { if (n == 0) return 0; return even(n - 1); }
 int even(int n) { if (n == 0) return 1; return odd(n - 1); }
 int root(int n) { return even(n); }
-`})
+`)
 	g := Build(mod)
 	r := g.ReachableFrom("root")
 	if !r["even"] || !r["odd"] {

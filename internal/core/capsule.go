@@ -27,7 +27,7 @@ type EntryCache interface {
 // every cached capsule and verdict at once. Bump it whenever the capsule
 // layout, the Stats replayed from it, or the engine's exploration semantics
 // change in a way old capsules cannot represent.
-const capsuleVersion = 1
+const capsuleVersion = 2
 
 // analysisSalt digests everything outside the function bodies that the
 // analysis result can depend on: the capsule format version, the mode,
@@ -49,6 +49,11 @@ func (c Config) analysisSalt(mod *cir.Module) uint64 {
 		uint64(int64(c.LoopUnroll)))
 	h = hmix.Mix4(h, boolBit(c.NoPrune), boolBit(c.NoMemo), boolBit(c.NoSummaries))
 	h = hmix.Mix2(h, boolBit(c.Validate && c.ValidatePath != nil))
+	// Fault injection perturbs exploration, so its presence is salted;
+	// EntryTimeout/RunTimeout/MaxRetries deliberately are not — degraded
+	// entries are simply never persisted, so timing knobs cannot poison
+	// the cache and changing them must not invalidate healthy capsules.
+	h = hmix.Mix2(h, boolBit(c.FaultHook != nil))
 	h = hmix.Mix2(h, uint64(len(c.Checkers)))
 	for _, chk := range c.Checkers {
 		h = hmix.Mix2(h, hmix.Str(chk.Name()))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cir"
@@ -50,7 +51,9 @@ func lowerCapsuleSrc(t *testing.T) *cir.Module {
 // (worker counts, trace hooks) do not.
 func TestAnalysisSaltInvalidation(t *testing.T) {
 	mod := lowerCapsuleSrc(t)
-	valid := func(*PossibleBug, Mode) ValidationOutcome { return ValidationOutcome{Feasible: true} }
+	valid := func(context.Context, *PossibleBug, Mode) ValidationOutcome {
+		return ValidationOutcome{Feasible: true}
+	}
 	base := Config{Validate: true, ValidatePath: valid}
 	salt := func(c Config) uint64 { return c.withDefaults().analysisSalt(mod) }
 	s0 := salt(base)
@@ -81,6 +84,10 @@ func TestAnalysisSaltInvalidation(t *testing.T) {
 			c.Intrinsics = typestate.DefaultIntrinsics().Add(typestate.IntrAlloc, "my_alloc")
 			return c
 		}},
+		{"FaultHook", func(c Config) Config {
+			c.FaultHook = func(string, int) *FaultSpec { return nil }
+			return c
+		}},
 	}
 	seen := map[uint64]string{s0: "base"}
 	for _, m := range mut {
@@ -109,6 +116,15 @@ func TestAnalysisSaltInvalidation(t *testing.T) {
 	irr.ValidateWorkers = 9
 	if salt(irr) != s0 {
 		t.Error("ValidateWorkers changed the salt")
+	}
+	// Timing knobs don't determine what a *healthy* entry explores, and
+	// degraded entries are never persisted — so they must not invalidate.
+	irr = base
+	irr.EntryTimeout = 30_000_000_000
+	irr.RunTimeout = 60_000_000_000
+	irr.MaxRetries = 3
+	if salt(irr) != s0 {
+		t.Error("EntryTimeout/RunTimeout/MaxRetries changed the salt")
 	}
 
 	// A new global invalidates.

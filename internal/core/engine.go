@@ -7,6 +7,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"sort"
 	"time"
 
@@ -91,8 +93,12 @@ type Config struct {
 	Validate bool
 	// ValidatePath decides a candidate bug's path feasibility; it returns
 	// false when the path is proven infeasible (the bug is dropped). The
-	// counts it returns feed the Table 5 constraint statistics.
-	ValidatePath func(bug *PossibleBug, mode Mode) ValidationOutcome
+	// counts it returns feed the Table 5 constraint statistics. The
+	// context carries the run's cancellation and, when EntryTimeout is
+	// set, a per-candidate deadline; an implementation that cannot finish
+	// in time must return a conservative verdict (Feasible) with TimedOut
+	// set rather than block.
+	ValidatePath func(ctx context.Context, bug *PossibleBug, mode Mode) ValidationOutcome
 	// ValidateWorkers sets how many concurrent Stage-2 validation workers
 	// RunParallel's pipelined scheduler uses (<= 0 selects GOMAXPROCS).
 	// With more than one worker the ValidatePath hook is called
@@ -107,6 +113,31 @@ type Config struct {
 	// the same way. The sequential Engine.Run ignores this field;
 	// AnalyzeSources routes to RunParallel whenever a cache is configured.
 	Cache EntryCache
+	// EntryTimeout bounds the wall-clock of one entry function's Stage-1
+	// DFS attempt and of each candidate's Stage-2 validation (<= 0 means
+	// no deadline). The DFS polls the deadline at a bounded step cadence;
+	// an entry that trips it is retried down the degrade ladder (see
+	// MaxRetries; RunParallel only) and recorded in Result.Incomplete.
+	EntryTimeout time.Duration
+	// RunTimeout bounds the whole run's wall-clock (<= 0 means none). On
+	// expiry, in-flight entries stop at their next poll and entries not
+	// yet started are recorded as incomplete with reason "cancelled".
+	RunTimeout time.Duration
+	// MaxRetries is how many degrade-ladder rungs a timed-out or panicked
+	// entry is retried on before its incomplete record goes out with no
+	// completed attempt: rung r shrinks the path/step budgets 8× per rung,
+	// and from rung 2 on also halves MaxCallDepth (see Config.degradeRung).
+	// 0 selects the default (1 retry); negative disables retries. Only
+	// RunParallel walks the ladder — retries need a pristine engine per
+	// attempt — but the sequential engine still contains panics and
+	// honors deadlines.
+	MaxRetries int
+	// FaultHook, when set, injects a test-only fault for an (entry, rung)
+	// attempt; returning nil means no fault. It exists to make every
+	// failure path deterministically testable and must never be set in
+	// production configs (its presence is salted into the incremental
+	// cache key, so test runs cannot pollute real caches).
+	FaultHook func(entry string, rung int) *FaultSpec
 	// Trace, when set, observes every executed instruction with the alias
 	// graph as updated for it (Figure 6 line 30). For debugging and for
 	// tests that assert the paper's worked examples (Figure 7).
@@ -125,6 +156,12 @@ type ValidationOutcome struct {
 	// performed (zero when the validator has no cache).
 	CacheHits   int64
 	CacheMisses int64
+	// TimedOut reports that a deadline or cancellation interrupted
+	// solving: the verdict is conservative (the bug is kept) and must not
+	// be persisted or memoized. Panicked reports the validator panicked
+	// and was contained; the bug is kept but not marked Validated.
+	TimedOut bool
+	Panicked bool
 }
 
 // PruneInfeasible reports whether on-the-fly feasibility pruning is
@@ -256,16 +293,36 @@ type Stats struct {
 	// WorkSteals counts Stage-1 tasks a worker claimed from another
 	// worker's queue (RunParallel's work-stealing scheduler; zero for
 	// sequential runs).
-	WorkSteals     int64
-	AnalysisTime   time.Duration
-	ValidationTime time.Duration
+	WorkSteals int64
+	// Fault-isolation counters. DeadlineTrips counts per-entry deadline
+	// expiries observed by the Stage-1 DFS and by Stage-2 validations;
+	// PanicsContained counts recovered panics (both stages);
+	// EntriesRetried counts degrade-ladder retry attempts; and
+	// EntriesDegraded counts entries whose reported result is
+	// lower-fidelity than a full run — they timed out or panicked,
+	// whether or not a ladder retry later completed. Budget-tripped and
+	// cancelled entries appear in Result.Incomplete but are not counted
+	// as degraded: a budget trip is deterministic analysis policy, and a
+	// cancelled entry reflects no attempt at all.
+	DeadlineTrips   int64
+	PanicsContained int
+	EntriesRetried  int
+	EntriesDegraded int
+	AnalysisTime    time.Duration
+	ValidationTime  time.Duration
 }
 
 // Result of a full run.
 type Result struct {
 	Bugs     []*Bug
 	Possible []*PossibleBug // deduplicated Stage-1 candidates
-	Stats    Stats
+	// Incomplete lists entry functions whose analysis stopped early
+	// (deadline, contained panic, budget trip, cancellation), in entry
+	// order — the report's "incomplete analysis" section. A reader must
+	// treat listed entries as unanalyzed or partially analyzed: absence
+	// of a report under them proves nothing.
+	Incomplete []IncompleteEntry
+	Stats      Stats
 }
 
 // Engine analyzes one module.
@@ -310,6 +367,24 @@ type Engine struct {
 	paths int64
 	steps int64
 	over  bool
+
+	// Fault-isolation state. runCtx and entryDeadline are polled by
+	// budgetExceeded every pollEvery steps (every step while an injected
+	// slowdown makes single steps expensive); timedOut/cancelled record
+	// why the current entry stopped early; fault is the injected fault
+	// for the current entry, rung the degrade-ladder rung the current
+	// attempt runs on (0 = full budgets). trkBase accumulates typestate
+	// counters orphaned when a contained panic forces the tracker to be
+	// rebuilt mid-run (sequential path only).
+	runCtx        context.Context
+	entryDeadline time.Time
+	pollTick      int
+	timedOut      bool
+	cancelled     bool
+	fault         *FaultSpec
+	rung          int
+	incomplete    []IncompleteEntry
+	trkBase       typestate.Stats
 
 	dedup    map[dedupKey]*PossibleBug
 	possible []*PossibleBug
@@ -367,33 +442,57 @@ func newEngineWithCG(mod *cir.Module, cfg Config, cg *callgraph.Graph) *Engine {
 // Run executes Stage 1 (path-sensitive alias + typestate analysis over all
 // entry functions) and Stage 2 (dedup already folded into Stage 1's sink,
 // then path validation).
-func (e *Engine) Run() *Result {
+func (e *Engine) Run() *Result { return e.RunCtx(context.Background()) }
+
+// RunCtx is Run with cooperative cancellation and the per-entry fault
+// barrier: each entry runs under a recover() fence and, when EntryTimeout
+// is set, a wall-clock deadline, and entries that stop early are recorded
+// in Result.Incomplete. The sequential engine does not walk the degrade
+// ladder — a retry needs a pristine engine per attempt, which is
+// RunParallel's per-worker machinery — so a timed-out or panicked entry is
+// recorded with Rung -1 here. Unlike RunParallel's workers, a contained
+// panic on the sequential path keeps the candidates emitted before the
+// panic (they were already deduplicated into the shared sink).
+func (e *Engine) RunCtx(ctx context.Context) *Result {
+	if e.Cfg.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.Cfg.RunTimeout)
+		defer cancel()
+	}
+	e.runCtx = ctx
 	start := time.Now()
 	entries := e.CG.EntryFunctions()
 	e.stats.EntryFunctions = len(entries)
 	for _, fn := range entries {
-		e.analyzeEntry(fn)
+		e.runEntryGuarded(fn)
 	}
 	e.stats.PossibleBugs = int64(len(e.possible)) + e.stats.RepeatedDropped
-	e.stats.Typestates = e.tracker0Stats().Transitions
-	e.stats.TypestatesUnaware = e.tracker0Stats().TransitionsUnaware
+	trk := e.tracker0Stats()
+	e.stats.Typestates = e.trkBase.Transitions + trk.Transitions
+	e.stats.TypestatesUnaware = e.trkBase.TransitionsUnaware + trk.TransitionsUnaware
 	e.stats.AnalysisTime = time.Since(start)
 
-	res := &Result{Possible: e.possible, Stats: e.stats}
+	res := &Result{Possible: e.possible, Incomplete: e.incomplete, Stats: e.stats}
 	vstart := time.Now()
 	for _, pb := range e.possible {
 		b := &Bug{PossibleBug: pb}
 		if e.Cfg.Validate && e.Cfg.ValidatePath != nil {
-			out := e.Cfg.ValidatePath(pb, e.Cfg.Mode)
+			out := validateGuarded(ctx, e.Cfg, pb)
 			res.Stats.Constraints += out.Constraints
 			res.Stats.ConstraintsUnaware += out.ConstraintsUnaware
 			res.Stats.ValidationCacheHits += out.CacheHits
 			res.Stats.ValidationCacheMisses += out.CacheMisses
+			if out.TimedOut {
+				res.Stats.DeadlineTrips++
+			}
+			if out.Panicked {
+				res.Stats.PanicsContained++
+			}
 			if !out.Feasible {
 				res.Stats.FalseDropped++
 				continue
 			}
-			b.Validated = true
+			b.Validated = !out.Panicked
 			b.Trigger = out.Trigger
 		}
 		res.Bugs = append(res.Bugs, b)
@@ -401,6 +500,44 @@ func (e *Engine) Run() *Result {
 	res.Stats.ValidationTime = time.Since(vstart)
 	e.stats = res.Stats
 	return res
+}
+
+// runEntryGuarded wraps analyzeEntry in the per-entry fault barrier and
+// records incomplete outcomes. A contained panic unwinds past the entry's
+// rollback points, so the alias graph and tracker are discarded and
+// rebuilt for the next entry with their counters folded into trkBase.
+func (e *Engine) runEntryGuarded(fn *cir.Function) {
+	prevBudgeted := e.stats.Budgeted
+	panicked := false
+	detail := ""
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				panicked = true
+				detail = fmt.Sprint(p)
+				e.stats.PanicsContained++
+				if e.tracker != nil {
+					e.trkBase.Transitions += e.tracker.Stats.Transitions
+					e.trkBase.TransitionsUnaware += e.tracker.Stats.TransitionsUnaware
+				}
+				e.g, e.tracker = nil, nil
+				e.frames = e.frames[:0]
+			}
+		}()
+		e.analyzeEntry(fn)
+	}()
+	switch {
+	case panicked:
+		e.stats.EntriesDegraded++
+		e.incomplete = append(e.incomplete, IncompleteEntry{Entry: fn.Name, Reason: ReasonPanic, Rung: -1, Detail: detail})
+	case e.cancelled:
+		e.incomplete = append(e.incomplete, IncompleteEntry{Entry: fn.Name, Reason: ReasonCancelled, Rung: -1})
+	case e.timedOut:
+		e.stats.EntriesDegraded++
+		e.incomplete = append(e.incomplete, IncompleteEntry{Entry: fn.Name, Reason: ReasonTimeout, Rung: -1})
+	case e.stats.Budgeted > prevBudgeted:
+		e.incomplete = append(e.incomplete, IncompleteEntry{Entry: fn.Name, Reason: ReasonBudget, Rung: 0})
+	}
 }
 
 func (e *Engine) tracker0Stats() typestate.Stats {
@@ -414,6 +551,29 @@ func (e *Engine) tracker0Stats() typestate.Stats {
 // graph and tracker persist across entries so the Stats counters accumulate;
 // per-entry state (path, frames) is reset.
 func (e *Engine) analyzeEntry(fn *cir.Function) {
+	// Per-entry fault-isolation setup: resolve the injected fault (if a
+	// hook is installed), arm the wall-clock deadline, and observe an
+	// already-cancelled run before doing any work. The injected panic
+	// fires before the checkpoints below on purpose — a real panic can
+	// strike anywhere, and the containment path must cope with an engine
+	// whose rollback never ran.
+	e.timedOut = false
+	e.cancelled = false
+	e.pollTick = 0
+	e.fault = nil
+	e.entryDeadline = time.Time{}
+	if e.Cfg.FaultHook != nil {
+		e.fault = e.Cfg.FaultHook(fn.Name, e.rung)
+	}
+	if e.Cfg.EntryTimeout > 0 {
+		e.entryDeadline = time.Now().Add(e.Cfg.EntryTimeout)
+	}
+	if e.runCtx != nil && e.runCtx.Err() != nil {
+		e.cancelled = true
+	}
+	if e.fault != nil && e.fault.Panic {
+		panic(fmt.Sprintf("injected fault: entry %s, rung %d", fn.Name, e.rung))
+	}
 	if e.g == nil {
 		e.g = aliasgraph.New()
 	}
@@ -490,9 +650,40 @@ func (e *Engine) analyzeEntry(fn *cir.Function) {
 	e.tracker.Rollback(tm)
 }
 
+// pollEvery is the step cadence of the wall-clock/cancellation poll in
+// budgetExceeded: cheap enough to be invisible next to instruction
+// execution, frequent enough that a deadline overshoots by at most a few
+// dozen steps.
+const pollEvery = 64
+
+// stopped reports whether the current entry's exploration has ended early
+// for any reason — budget, deadline, or cancellation. Memo and summary
+// recordings consult it: a subtree cut short must never be recorded as
+// fully explored.
+func (e *Engine) stopped() bool { return e.over || e.timedOut || e.cancelled }
+
 func (e *Engine) budgetExceeded() bool {
-	if e.over {
+	if e.over || e.timedOut || e.cancelled {
 		return true
+	}
+	if e.fault != nil && e.fault.TripBudget {
+		e.over = true
+		return true
+	}
+	// Wall-clock and cancellation polls are amortized over pollEvery
+	// steps; with an injected per-step slowdown every step polls, so
+	// deadline tests trip after a deterministic number of steps.
+	if e.pollTick++; e.pollTick >= pollEvery || (e.fault != nil && e.fault.Slow > 0) {
+		e.pollTick = 0
+		if e.runCtx != nil && e.runCtx.Err() != nil {
+			e.cancelled = true
+			return true
+		}
+		if !e.entryDeadline.IsZero() && time.Now().After(e.entryDeadline) {
+			e.timedOut = true
+			e.stats.DeadlineTrips++
+			return true
+		}
 	}
 	// Negative budgets mean unlimited. The charged counters stand in for
 	// the work memo hits skipped, keeping the budget trip point where an
@@ -562,7 +753,7 @@ func (e *Engine) exec(in cir.Instr) {
 			// constraint chain entirely. Candidate emissions don't block
 			// recording: they are captured (up to maxMemoEmits) and
 			// replayed on hits.
-			if !f.poisoned && !e.over && e.stats.PrunedBranches == f.pruned0 {
+			if !f.poisoned && !e.stopped() && e.stats.PrunedBranches == f.pruned0 {
 				e.memo[f.key] = memoRec{
 					paths: e.paths + e.pathsCharged - f.paths0,
 					steps: e.steps + e.stepsCharged - f.steps0,
@@ -653,6 +844,9 @@ func (e *Engine) framesHash() uint64 {
 // execStep is the pre-memo body of exec. All mutations are rolled back
 // before returning.
 func (e *Engine) execStep(in cir.Instr) {
+	if e.fault != nil && e.fault.Slow > 0 {
+		time.Sleep(e.fault.Slow)
+	}
 	e.steps++
 	gid := in.GID()
 	if e.onPath[gid] >= e.Cfg.LoopUnroll {

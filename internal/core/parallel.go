@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -103,6 +104,7 @@ func (e *Engine) runEntryDelta(fn *cir.Function) *Result {
 	res.Stats.RepeatedDropped = e.stats.RepeatedDropped - prev.RepeatedDropped
 	res.Stats.Typestates = trk.Transitions - prevTrk.Transitions
 	res.Stats.TypestatesUnaware = trk.TransitionsUnaware - prevTrk.TransitionsUnaware
+	res.Stats.DeadlineTrips = e.stats.DeadlineTrips - prev.DeadlineTrips
 	return res
 }
 
@@ -139,7 +141,25 @@ func (e *Engine) runEntryDelta(fn *cir.Function) *Result {
 // next run. Every cache failure mode (corrupt file, unresolvable ref,
 // unrepresentable candidate) degrades to a cold path, never to an error.
 func RunParallel(mod *cir.Module, cfg Config, workers int) *Result {
+	return RunParallelCtx(context.Background(), mod, cfg, workers)
+}
+
+// RunParallelCtx is RunParallel under a context: cancellation (and
+// Config.RunTimeout, applied here) stops the run cooperatively — in-flight
+// entries stop at their next poll, queued entries drain as "cancelled"
+// incomplete records — and the partial Result is still well-formed and
+// fully merged. This is also the entry point that walks the degrade
+// ladder: each worker wraps every entry in runEntryIsolated, so a panic or
+// deadline trip in one entry never takes down the run, and degraded
+// results are withheld from the incremental cache (a warm re-run retries
+// them).
+func RunParallelCtx(ctx context.Context, mod *cir.Module, cfg Config, workers int) *Result {
 	cfg = cfg.withDefaults()
+	if cfg.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.RunTimeout)
+		defer cancel()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -153,10 +173,12 @@ func RunParallel(mod *cir.Module, cfg Config, workers int) *Result {
 	if workers > len(entries) {
 		workers = len(entries)
 	}
-	if cache == nil && workers <= 1 && vworkers <= 1 {
-		// Nothing to overlap and nothing to replay: the sequential engine
-		// is equivalent and avoids the scheduling machinery.
-		return newEngineWithCG(mod, cfg, cg).Run()
+	if cache == nil && workers <= 1 && vworkers <= 1 && ctx.Done() == nil &&
+		cfg.EntryTimeout <= 0 && cfg.FaultHook == nil {
+		// Nothing to overlap, nothing to replay, and no isolation ladder
+		// to walk: the sequential engine is equivalent and avoids the
+		// scheduling machinery.
+		return newEngineWithCG(mod, cfg, cg).RunCtx(ctx)
 	}
 	if workers < 1 {
 		workers = 1
@@ -178,6 +200,16 @@ func RunParallel(mod *cir.Module, cfg Config, workers int) *Result {
 			keys[i] = entryKeyString(cg.EntryKey(fn, salt))
 			if data, ok := cache.Load(keys[i]); ok {
 				if res, ok := decodeCapsule(data, mod, byName); ok {
+					// Budget trips are deterministic, so budget-tripped
+					// capsules are cacheable; their incomplete record is
+					// synthesized on replay (capsules predate the record's
+					// creation and stay leaner without it). Degraded
+					// entries are never saved, so no other reason can
+					// surface from a hit.
+					if res.Stats.Budgeted > 0 {
+						res.Incomplete = append(res.Incomplete,
+							IncompleteEntry{Entry: fn.Name, Reason: ReasonBudget, Rung: 0})
+					}
 					hits[i] = res
 				}
 			}
@@ -232,6 +264,7 @@ func RunParallel(mod *cir.Module, cfg Config, workers int) *Result {
 		go func(w int) {
 			defer wg1.Done()
 			eng := newEngineWithCG(mod, subCfg, cg)
+			eng.runCtx = ctx
 			for {
 				t, ok := queues[w].popFront()
 				if !ok {
@@ -240,13 +273,29 @@ func RunParallel(mod *cir.Module, cfg Config, workers int) *Result {
 					}
 					atomic.AddInt64(&steals, 1)
 				}
-				res := eng.runEntryDelta(t.fn)
+				var res *Result
+				degraded := false
+				if ctx.Err() != nil {
+					// Cancelled run: drain the queues without analyzing,
+					// recording each remaining entry so the partial report
+					// says exactly what was never attempted.
+					res = &Result{Stats: Stats{EntryFunctions: 1}}
+					res.Incomplete = []IncompleteEntry{{Entry: t.fn.Name, Reason: ReasonCancelled, Rung: -1}}
+					degraded = true
+				} else {
+					res, eng, degraded = runEntryIsolated(eng, t.fn)
+				}
 				if cache != nil {
 					// Encode before the merger sees res: the merger mutates
 					// first-sighting candidates in place (AltPaths). A
-					// non-encodable entry just isn't cached.
-					if data, ok := encodeCapsule(res); ok {
-						cache.Save(keys[t.idx], data)
+					// non-encodable entry just isn't cached — and neither
+					// is a degraded one: its result depends on wall-clock
+					// (or on a contained panic), so a warm re-run must
+					// re-attempt it rather than replay the degraded shadow.
+					if !degraded {
+						if data, ok := encodeCapsule(res); ok {
+							cache.Save(keys[t.idx], data)
+						}
 					}
 					res.Stats.CacheEntriesMiss = 1
 				}
@@ -283,7 +332,7 @@ func RunParallel(mod *cir.Module, cfg Config, workers int) *Result {
 			go func() {
 				defer wgV.Done()
 				for rec := range vtasks {
-					rec.out = cfg.ValidatePath(rec.prim, cfg.Mode)
+					rec.out = validateGuarded(ctx, cfg, rec.prim)
 				}
 			}()
 		}
@@ -316,6 +365,7 @@ func RunParallel(mod *cir.Module, cfg Config, workers int) *Result {
 				}
 				delete(pending, next)
 				next++
+				merged.Incomplete = append(merged.Incomplete, r.Incomplete...)
 				s := &merged.Stats
 				s.EntryFunctions += r.Stats.EntryFunctions
 				s.PathsExplored += r.Stats.PathsExplored
@@ -334,6 +384,10 @@ func RunParallel(mod *cir.Module, cfg Config, workers int) *Result {
 				s.CacheEntriesHit += r.Stats.CacheEntriesHit
 				s.CacheEntriesMiss += r.Stats.CacheEntriesMiss
 				s.CacheStepsSkipped += r.Stats.CacheStepsSkipped
+				s.DeadlineTrips += r.Stats.DeadlineTrips
+				s.PanicsContained += r.Stats.PanicsContained
+				s.EntriesRetried += r.Stats.EntriesRetried
+				s.EntriesDegraded += r.Stats.EntriesDegraded
 				for _, pb := range r.Possible {
 					k := mergeKey{checker: pb.Checker.Name(), origin: pb.OriginGID, bug: pb.BugInstr.GID()}
 					if prev, dup := seen[k]; dup {
@@ -400,8 +454,10 @@ func RunParallel(mod *cir.Module, cfg Config, workers int) *Result {
 							}
 						}
 					}
-					rec.out = cfg.ValidatePath(rec.pb, cfg.Mode)
-					if keyed {
+					rec.out = validateGuarded(ctx, cfg, rec.pb)
+					// An interrupted or panicked verdict is conservative,
+					// not proven; persisting it would freeze a guess.
+					if keyed && !rec.out.TimedOut && !rec.out.Panicked {
 						if data, ok := encodeVerdict(rec.out); ok {
 							cache.Save(key, data)
 						}
@@ -425,12 +481,14 @@ func RunParallel(mod *cir.Module, cfg Config, workers int) *Result {
 					alt := *rec.pb
 					alt.Path = rec.pb.AltPaths[0]
 					alt.AltPaths = rec.pb.AltPaths[1:]
-					out := cfg.ValidatePath(&alt, cfg.Mode)
+					out := validateGuarded(ctx, cfg, &alt)
 					rec.out.Feasible = out.Feasible
 					rec.out.Constraints += out.Constraints
 					rec.out.ConstraintsUnaware += out.ConstraintsUnaware
 					rec.out.CacheHits += out.CacheHits
 					rec.out.CacheMisses += out.CacheMisses
+					rec.out.TimedOut = rec.out.TimedOut || out.TimedOut
+					rec.out.Panicked = rec.out.Panicked || out.Panicked
 					// Trigger stays the primary path's, matching the
 					// sequential validator.
 				}
@@ -452,11 +510,17 @@ func RunParallel(mod *cir.Module, cfg Config, workers int) *Result {
 			merged.Stats.ConstraintsUnaware += rec.out.ConstraintsUnaware
 			merged.Stats.ValidationCacheHits += rec.out.CacheHits
 			merged.Stats.ValidationCacheMisses += rec.out.CacheMisses
+			if rec.out.TimedOut {
+				merged.Stats.DeadlineTrips++
+			}
+			if rec.out.Panicked {
+				merged.Stats.PanicsContained++
+			}
 			if !rec.out.Feasible {
 				merged.Stats.FalseDropped++
 				continue
 			}
-			b.Validated = true
+			b.Validated = !rec.out.Panicked
 			b.Trigger = rec.out.Trigger
 		}
 		merged.Bugs = append(merged.Bugs, b)

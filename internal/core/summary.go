@@ -274,7 +274,7 @@ func (e *Engine) recordCall(call *cir.Call, callee *cir.Function, key uint64, la
 	e.exec(callee.Entry().Instrs[0])
 	e.frames = e.frames[:len(e.frames)-1]
 	e.sumStack = e.sumStack[:len(e.sumStack)-1]
-	if !sf.poisoned && !e.over {
+	if !sf.poisoned && !e.stopped() {
 		e.sums[sf.key] = &summaryRec{
 			events: sf.events,
 			steps:  e.steps + e.stepsCharged - sf.steps0 - sf.extSteps,

@@ -280,3 +280,33 @@ func TestExtensionsShape(t *testing.T) {
 		}
 	}
 }
+
+func TestDegradeTableIsolation(t *testing.T) {
+	rows, err := DegradeTable(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 scenarios", len(rows))
+	}
+	for _, r := range rows {
+		if !r.HealthyIdentical {
+			t.Errorf("%s: healthy bug set drifted under fault injection", r.Scenario)
+		}
+	}
+	base := rows[0]
+	if base.Incomplete != 0 || base.Degraded != 0 {
+		t.Fatalf("baseline scenario reports faults: %+v", base)
+	}
+	for _, r := range rows[1:] {
+		if r.Degraded == 0 && r.Incomplete == 0 {
+			t.Errorf("%s: injection left no trace", r.Scenario)
+		}
+	}
+	if rows[1].PanicsContained == 0 {
+		t.Errorf("panic@rung0: no panics contained: %+v", rows[1])
+	}
+	if rows[2].DeadlineTrips == 0 {
+		t.Errorf("slow+timeout: no deadline trips: %+v", rows[2])
+	}
+}

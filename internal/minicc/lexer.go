@@ -169,7 +169,9 @@ func (lx *Lexer) Next() Token {
 		var v int64
 		if lx.peek() == '\\' {
 			lx.advance()
-			v = escapeVal(lx.advance())
+			if lx.pos < len(lx.src) {
+				v = escapeVal(lx.advance())
+			}
 		} else if lx.pos < len(lx.src) {
 			v = int64(lx.advance())
 		}

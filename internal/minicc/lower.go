@@ -29,16 +29,6 @@ func LowerFile(mod *cir.Module, f *File) error {
 	return nil
 }
 
-// MustLower lowers src into a fresh module and panics on error (testing and
-// example helper).
-func MustLower(name string, sources map[string]string) *cir.Module {
-	mod, err := LowerAll(name, sources)
-	if err != nil {
-		panic(err)
-	}
-	return mod
-}
-
 // LowerAll lowers a set of sources (file name → text) into one module and
 // assigns instruction IDs.
 func LowerAll(name string, sources map[string]string) (*cir.Module, error) {

@@ -10,11 +10,13 @@
 package pathval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/aliasgraph"
 	"repro/internal/cir"
@@ -61,8 +63,12 @@ func New() *Validator { return &Validator{cache: make(map[string]*verdict)} }
 // prefixes and for AltPath re-validations — skip the solver entirely. The
 // replay that produced f is deterministic, so a cached model assigns the
 // same variable IDs a cold solve would and the trigger values come out
-// identical. Returns whether the verdict came from the cache.
-func (v *Validator) solveCached(ctx *smt.Context, f smt.Formula) (smt.Result, smt.Model, bool) {
+// identical. Returns whether the verdict came from the cache and whether
+// the solve was interrupted by deadline/done. An interrupted Unknown is a
+// timing artifact, so it is evicted from the cache before waiters are
+// released; concurrent waiters of that entry still observe the conservative
+// Unknown (without the interrupted flag), which only ever keeps a bug.
+func (v *Validator) solveCached(ctx *smt.Context, f smt.Formula, deadline time.Time, done <-chan struct{}) (smt.Result, smt.Model, bool, bool) {
 	key := f.Key()
 	v.mu.Lock()
 	if v.cache == nil {
@@ -72,39 +78,58 @@ func (v *Validator) solveCached(ctx *smt.Context, f smt.Formula) (smt.Result, sm
 		v.mu.Unlock()
 		<-e.ready
 		atomic.AddInt64(&v.CacheHits, 1)
-		return e.res, e.model, true
+		return e.res, e.model, true, false
 	}
 	e := &verdict{ready: make(chan struct{})}
 	v.cache[key] = e
 	v.mu.Unlock()
-	e.res, e.model = smt.NewSolver(ctx).SolveWithModel(f)
+	s := smt.NewSolver(ctx)
+	s.Deadline = deadline
+	s.Done = done
+	e.res, e.model = s.SolveWithModel(f)
+	if s.Interrupted {
+		v.mu.Lock()
+		delete(v.cache, key)
+		v.mu.Unlock()
+	}
 	close(e.ready)
 	atomic.AddInt64(&v.CacheMisses, 1)
-	return e.res, e.model, false
+	return e.res, e.model, false, s.Interrupted
 }
 
 // Install wires the validator into an engine config.
 func (v *Validator) Install(cfg *core.Config) {
 	cfg.Validate = true
-	cfg.ValidatePath = v.Validate
+	cfg.ValidatePath = v.ValidateCtx
 }
 
-// Validate decides a candidate bug's feasibility: its primary witness path
-// is replayed and solved; when that path is proven infeasible, the
-// alternate witnesses recorded for the same (origin, bug) pair are tried in
-// turn. The bug survives if any witness path is feasible.
+// Validate decides a candidate bug's feasibility with no deadline. It is
+// ValidateCtx with a background context, kept for callers (and tests) that
+// don't thread a context.
 func (v *Validator) Validate(bug *core.PossibleBug, mode core.Mode) core.ValidationOutcome {
-	out := v.validateOne(bug, bug.Path, mode)
+	return v.ValidateCtx(context.Background(), bug, mode)
+}
+
+// ValidateCtx decides a candidate bug's feasibility: its primary witness
+// path is replayed and solved; when that path is proven infeasible, the
+// alternate witnesses recorded for the same (origin, bug) pair are tried in
+// turn. The bug survives if any witness path is feasible. The context's
+// deadline and cancellation interrupt the solver between bounded units of
+// work; an interrupted solve answers Unknown, which conservatively keeps
+// the bug and marks the outcome TimedOut.
+func (v *Validator) ValidateCtx(ctx context.Context, bug *core.PossibleBug, mode core.Mode) core.ValidationOutcome {
+	out := v.validateOne(ctx, bug, bug.Path, mode)
 	for _, alt := range bug.AltPaths {
 		if out.Feasible {
 			break
 		}
-		altOut := v.validateOne(bug, alt, mode)
+		altOut := v.validateOne(ctx, bug, alt, mode)
 		out.Feasible = altOut.Feasible
 		out.Constraints += altOut.Constraints
 		out.ConstraintsUnaware += altOut.ConstraintsUnaware
 		out.CacheHits += altOut.CacheHits
 		out.CacheMisses += altOut.CacheMisses
+		out.TimedOut = out.TimedOut || altOut.TimedOut
 	}
 	return out
 }
@@ -118,7 +143,7 @@ func (v *Validator) Validate(bug *core.PossibleBug, mode core.Mode) core.Validat
 // asymmetry from the other side: it skips a branch only on Unsat.
 func FeasibleVerdict(res smt.Result) bool { return res != smt.Unsat }
 
-func (v *Validator) validateOne(bug *core.PossibleBug, path []core.PathStep, mode core.Mode) core.ValidationOutcome {
+func (v *Validator) validateOne(ctx context.Context, bug *core.PossibleBug, path []core.PathStep, mode core.Mode) core.ValidationOutcome {
 	atomic.AddInt64(&v.Queries, 1)
 	r := &replayer{
 		mode:  mode,
@@ -129,7 +154,8 @@ func (v *Validator) validateOne(bug *core.PossibleBug, path []core.PathStep, mod
 		execs: make(map[int]int),
 	}
 	r.replay(bug, path)
-	res, model, hit := v.solveCached(r.ctx, smt.And(r.atoms...))
+	deadline, _ := ctx.Deadline()
+	res, model, hit, interrupted := v.solveCached(r.ctx, smt.And(r.atoms...), deadline, ctx.Done())
 	switch res {
 	case smt.Unsat:
 		atomic.AddInt64(&v.Unsat, 1)
@@ -143,6 +169,7 @@ func (v *Validator) validateOne(bug *core.PossibleBug, path []core.PathStep, mod
 		Constraints:        int64(len(r.atoms)),
 		ConstraintsUnaware: r.unaware,
 		Trigger:            r.triggerValues(model),
+		TimedOut:           interrupted,
 	}
 	if hit {
 		out.CacheHits = 1

@@ -1,10 +1,12 @@
 package pathval
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/minicc"
@@ -408,5 +410,59 @@ func TestVerdictCacheConcurrentSingleflight(t *testing.T) {
 		if !reflect.DeepEqual(a, b) {
 			t.Errorf("goroutine %d outcome differs: %+v vs %+v", i, outs[0], outs[i])
 		}
+	}
+}
+
+// TestInterruptedVerdictNotMemoized pins the verdict-cache soundness rule:
+// an Unknown produced by deadline/cancellation pressure is a timing
+// artifact and must be evicted, so the same constraint system re-solves
+// (and memoizes properly) once the pressure is gone.
+func TestInterruptedVerdictNotMemoized(t *testing.T) {
+	v := New()
+	ctx := smt.NewContext()
+	x := ctx.Var("x")
+	f := smt.And(smt.Gt(x, smt.Int(0)), smt.Lt(x, smt.Int(10)))
+
+	done := make(chan struct{})
+	close(done)
+	res, _, hit, interrupted := v.solveCached(ctx, f, time.Time{}, done)
+	if res != smt.Unknown || hit || !interrupted {
+		t.Fatalf("pressured solve = (%v, hit=%v, interrupted=%v), want uncached interrupted unknown", res, hit, interrupted)
+	}
+
+	// Pressure removed: the key must re-solve, not replay the Unknown.
+	res, _, hit, interrupted = v.solveCached(ctx, f, time.Time{}, nil)
+	if res != smt.Sat || hit || interrupted {
+		t.Fatalf("re-solve = (%v, hit=%v, interrupted=%v), want fresh sat", res, hit, interrupted)
+	}
+
+	// And the clean verdict memoizes as usual.
+	res, _, hit, _ = v.solveCached(ctx, f, time.Time{}, nil)
+	if res != smt.Sat || !hit {
+		t.Fatalf("third solve = (%v, hit=%v), want cached sat", res, hit)
+	}
+}
+
+// TestValidateCtxCancelledKeepsBug: a cancelled validation conservatively
+// keeps the bug and flags the outcome, it never drops a report.
+func TestValidateCtxCancelledKeepsBug(t *testing.T) {
+	bugs, v := analyze(t, `
+struct s { int f; };
+int f(struct s *p) {
+	if (!p)
+		return p->f;
+	return 0;
+}`, core.ModePATA)
+	if len(bugs) == 0 {
+		t.Fatal("no candidates")
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := v.ValidateCtx(cctx, bugs[0], core.ModePATA)
+	if !out.Feasible {
+		t.Error("cancelled validation dropped the bug")
+	}
+	if !out.TimedOut {
+		t.Error("cancelled validation not flagged TimedOut")
 	}
 }

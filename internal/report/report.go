@@ -85,9 +85,37 @@ func WriteStats(w io.Writer, st core.Stats) {
 		st.ValidationCacheHits, st.ValidationCacheMisses)
 	fmt.Fprintf(w, "  incremental cache:   %d entries hit, %d missed (steps skipped: %d)\n",
 		st.CacheEntriesHit, st.CacheEntriesMiss, st.CacheStepsSkipped)
+	fmt.Fprintf(w, "  fault isolation:     %d degraded, %d retried, %d deadline trips, %d panics contained\n",
+		st.EntriesDegraded, st.EntriesRetried, st.DeadlineTrips, st.PanicsContained)
 	fmt.Fprintf(w, "  work steals:         %d\n", st.WorkSteals)
 	fmt.Fprintf(w, "  analysis time:       %v\n", st.AnalysisTime)
 	fmt.Fprintf(w, "  validation time:     %v\n", st.ValidationTime)
+}
+
+// WriteIncomplete renders the incomplete-analysis section: every entry
+// whose exploration stopped early (timeout, contained panic, budget trip,
+// or run cancellation), with the degrade-ladder rung whose results the
+// report reflects. Healthy-entry findings above this section are exact;
+// for the entries listed here the report is a lower bound — absence of a
+// bug in a degraded entry proves nothing.
+func WriteIncomplete(w io.Writer, inc []core.IncompleteEntry) {
+	if len(inc) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "incomplete analysis (%d entries):\n", len(inc))
+	for _, e := range inc {
+		fmt.Fprintf(w, "  %s(): %s", e.Entry, e.Reason)
+		switch {
+		case e.Rung > 0:
+			fmt.Fprintf(w, ", completed at degrade rung %d", e.Rung)
+		case e.Rung < 0:
+			fmt.Fprintf(w, ", no attempt completed")
+		}
+		if e.Detail != "" {
+			fmt.Fprintf(w, " (%s)", e.Detail)
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // Summary aggregates bug counts by type.

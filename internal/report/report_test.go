@@ -123,3 +123,36 @@ func TestWritePath(t *testing.T) {
 		t.Errorf("missing branch markers: %q", out)
 	}
 }
+
+func TestWriteIncomplete(t *testing.T) {
+	var sb strings.Builder
+	WriteIncomplete(&sb, nil)
+	if sb.Len() != 0 {
+		t.Errorf("empty incomplete list produced output: %q", sb.String())
+	}
+	inc := []core.IncompleteEntry{
+		{Entry: "probe", Reason: core.ReasonTimeout, Rung: 1},
+		{Entry: "leak", Reason: core.ReasonPanic, Rung: -1, Detail: "index out of range"},
+		{Entry: "init", Reason: core.ReasonBudget, Rung: 0},
+	}
+	WriteIncomplete(&sb, inc)
+	out := sb.String()
+	for _, want := range []string{
+		"incomplete analysis (3 entries):",
+		"probe(): timeout, completed at degrade rung 1",
+		"leak(): panic, no attempt completed (index out of range)",
+		"init(): budget\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("incomplete section missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteStatsFaultLine(t *testing.T) {
+	var sb strings.Builder
+	WriteStats(&sb, core.Stats{EntriesDegraded: 2, EntriesRetried: 3, DeadlineTrips: 4, PanicsContained: 1})
+	if !strings.Contains(sb.String(), "fault isolation:     2 degraded, 3 retried, 4 deadline trips, 1 panics contained") {
+		t.Errorf("stats missing fault-isolation line:\n%s", sb.String())
+	}
+}

@@ -1,5 +1,7 @@
 package smt
 
+import "time"
+
 // Result of a satisfiability query.
 type Result int
 
@@ -37,7 +39,38 @@ type Solver struct {
 	MaxCubes int
 	// MaxIters bounds interval-propagation rounds per conjunction.
 	MaxIters int
-	Stats    Stats
+	// Deadline, when non-zero, makes the solver give up with Unknown once
+	// the wall clock passes it. Checked between cubes and between interval
+	// propagation rounds, so a query stops within one bounded unit of work.
+	Deadline time.Time
+	// Done, when non-nil, interrupts the query with Unknown once the
+	// channel is closed (typically a context's Done channel).
+	Done <-chan struct{}
+	// Interrupted reports whether the most recent query gave up because of
+	// Deadline or Done. Such an Unknown is a timing artifact, not a fact
+	// about the formula, and must not be memoized.
+	Interrupted bool
+	Stats       Stats
+}
+
+// interrupted polls the deadline and done channel, latching Interrupted.
+func (s *Solver) interrupted() bool {
+	if s.Interrupted {
+		return true
+	}
+	if s.Done != nil {
+		select {
+		case <-s.Done:
+			s.Interrupted = true
+			return true
+		default:
+		}
+	}
+	if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
+		s.Interrupted = true
+		return true
+	}
+	return false
 }
 
 // NewSolver returns a solver bound to ctx.
@@ -61,9 +94,14 @@ type Model map[int]int64
 // values for the variables of the first satisfiable cube.
 func (s *Solver) SolveWithModel(f Formula) (Result, Model) {
 	s.Stats.Queries++
+	s.Interrupted = false
 	cubes, overflow := s.dnf(nnf(f, false), s.MaxCubes)
 	sawUnknown := overflow
 	for _, cube := range cubes {
+		if s.interrupted() {
+			sawUnknown = true
+			break
+		}
 		s.Stats.Conjunctions++
 		res, model := s.solveConjModel(cube)
 		switch res {
@@ -343,6 +381,9 @@ func (s *Solver) solveConjModel(atoms []*Atom) (Result, Model) {
 
 	// Phase 3: interval propagation to fixpoint.
 	for iter := 0; iter < s.MaxIters && !c.unsat; iter++ {
+		if s.interrupted() {
+			return Unknown, nil
+		}
 		changed := false
 		for _, raw := range c.ineqs {
 			l := c.canon(raw)

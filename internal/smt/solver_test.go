@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func newSV() (*Context, *Solver) {
@@ -335,5 +336,43 @@ func TestDifferenceChainWithOffsets(t *testing.T) {
 	)
 	if got := s.Solve(g); got != Sat {
 		t.Errorf("loose chain = %v, want sat", got)
+	}
+}
+
+// TestSolverInterruption pins the deadline/cancellation contract: an
+// interrupted query answers Unknown (conservative — FeasibleVerdict keeps
+// the bug), latches Interrupted so callers know not to memoize it, and the
+// flag resets on the next query.
+func TestSolverInterruption(t *testing.T) {
+	ctx, s := newSV()
+	x := ctx.Var("x")
+	f := And(Gt(x, Int(0)), Lt(x, Int(10)))
+
+	done := make(chan struct{})
+	close(done)
+	s.Done = done
+	if got := s.Solve(f); got != Unknown {
+		t.Errorf("closed-Done solve = %v, want unknown", got)
+	}
+	if !s.Interrupted {
+		t.Error("Interrupted not latched by Done")
+	}
+
+	s.Done = nil
+	s.Deadline = time.Now().Add(-time.Second)
+	if got := s.Solve(f); got != Unknown {
+		t.Errorf("past-deadline solve = %v, want unknown", got)
+	}
+	if !s.Interrupted {
+		t.Error("Interrupted not latched by Deadline")
+	}
+
+	// A fresh query with the pressure removed resets the flag and solves.
+	s.Deadline = time.Time{}
+	if got := s.Solve(f); got != Sat {
+		t.Errorf("unpressured solve = %v, want sat", got)
+	}
+	if s.Interrupted {
+		t.Error("Interrupted leaked across queries")
 	}
 }

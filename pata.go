@@ -23,11 +23,13 @@
 package pata
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/acache"
 	"repro/internal/core"
@@ -102,6 +104,21 @@ type Config struct {
 	// used capsules are evicted past it. 0 means unlimited. Ignored when
 	// CacheDir is empty.
 	CacheMaxBytes int64
+	// EntryTimeout bounds the wall-clock spent on a single entry function
+	// (Stage-1 exploration attempt, and each Stage-2 candidate solve). An
+	// entry that exceeds it is retried down the degrade ladder with tighter
+	// budgets and, if still failing, reported in Result.Incomplete instead
+	// of aborting the run. 0 means no per-entry deadline.
+	EntryTimeout time.Duration
+	// RunTimeout bounds the whole analysis; when it expires, entries not
+	// yet finished are reported as cancelled in Result.Incomplete and the
+	// findings so far are returned. 0 means no overall deadline.
+	RunTimeout time.Duration
+	// MaxRetries is how many degrade-ladder rungs a timed-out or panicking
+	// entry is retried on (each rung shrinks the path/step budgets 8×,
+	// deeper rungs also halve the inlining depth). 0 means the default of
+	// one retry; negative disables retries.
+	MaxRetries int
 }
 
 // Bug is one validated finding.
@@ -133,10 +150,19 @@ type Bug struct {
 // Stats re-exports the engine counters (Table 5's metrics).
 type Stats = core.Stats
 
+// IncompleteEntry re-exports the engine's record of one entry function
+// whose analysis stopped early (timeout, contained panic, budget trip, or
+// cancellation).
+type IncompleteEntry = core.IncompleteEntry
+
 // Result of one analysis.
 type Result struct {
 	Bugs  []Bug
 	Stats Stats
+	// Incomplete lists entry functions whose analysis is partial. Findings
+	// in Bugs are exact for every entry NOT listed here; for listed entries
+	// the analysis is a lower bound (bugs may have been missed).
+	Incomplete []IncompleteEntry
 }
 
 // CheckerNames lists the valid Config.Checkers values. The first six are
@@ -191,6 +217,9 @@ func (c Config) engineConfig() (core.Config, error) {
 		NoPrune:                 c.NoPrune,
 		NoMemo:                  c.NoMemo,
 		NoSummaries:             c.NoSummaries,
+		EntryTimeout:            c.EntryTimeout,
+		RunTimeout:              c.RunTimeout,
+		MaxRetries:              c.MaxRetries,
 	}
 	if c.NoAlias {
 		ec.Mode = core.ModeNoAlias
@@ -201,9 +230,14 @@ func (c Config) engineConfig() (core.Config, error) {
 	if c.CacheDir != "" {
 		store, err := acache.Open(c.CacheDir, c.CacheMaxBytes)
 		if err != nil {
-			return core.Config{}, fmt.Errorf("pata: cache: %w", err)
+			// An unusable cache directory degrades to an uncached run: the
+			// cache is a pure accelerator, and refusing to analyze because
+			// a disk path is read-only would be the wrong trade for a bug
+			// finder.
+			fmt.Fprintf(os.Stderr, "pata: cache disabled: %v\n", err)
+		} else {
+			ec.Cache = store
 		}
-		ec.Cache = store
 	}
 	return ec, nil
 }
@@ -211,6 +245,14 @@ func (c Config) engineConfig() (core.Config, error) {
 // AnalyzeSources analyzes a set of mini-C sources (file name → content) as
 // one program.
 func AnalyzeSources(name string, sources map[string]string, cfg Config) (*Result, error) {
+	return AnalyzeSourcesCtx(context.Background(), name, sources, cfg)
+}
+
+// AnalyzeSourcesCtx is AnalyzeSources with a caller context: cancelling it
+// (or its deadline expiring) stops the analysis at the next bounded unit of
+// work and returns the partial result, with unfinished entries listed in
+// Result.Incomplete as cancelled.
+func AnalyzeSourcesCtx(ctx context.Context, name string, sources map[string]string, cfg Config) (*Result, error) {
 	mod, err := minicc.LowerAll(name, sources)
 	if err != nil {
 		return nil, fmt.Errorf("pata: frontend: %w", err)
@@ -220,10 +262,14 @@ func AnalyzeSources(name string, sources map[string]string, cfg Config) (*Result
 		return nil, err
 	}
 	var res *core.Result
-	if cfg.Workers > 1 || cfg.ValidateWorkers > 1 || ec.Cache != nil {
-		res = core.RunParallel(mod, ec, cfg.Workers)
+	// Per-entry isolation (timeouts, retries) lives in the parallel
+	// scheduler's worker loop, so isolated configs route through it even
+	// with one worker.
+	isolated := cfg.EntryTimeout > 0 || cfg.RunTimeout > 0
+	if cfg.Workers > 1 || cfg.ValidateWorkers > 1 || ec.Cache != nil || isolated || ctx.Done() != nil {
+		res = core.RunParallelCtx(ctx, mod, ec, cfg.Workers)
 	} else {
-		res = core.NewEngine(mod, ec).Run()
+		res = core.NewEngine(mod, ec).RunCtx(ctx)
 	}
 	return convert(res, cfg.WitnessPaths), nil
 }
@@ -264,7 +310,7 @@ func AnalyzeDir(dir string, cfg Config) (*Result, error) {
 }
 
 func convert(res *core.Result, witness bool) *Result {
-	out := &Result{Stats: res.Stats}
+	out := &Result{Stats: res.Stats, Incomplete: res.Incomplete}
 	for _, b := range core.SortedBugs(res.Bugs) {
 		pos := b.BugInstr.Position()
 		pb := Bug{
@@ -312,6 +358,7 @@ func (r *Result) String() string {
 		}
 		b.WriteString(")\n")
 	}
+	report.WriteIncomplete(&b, r.Incomplete)
 	fmt.Fprintf(&b, "%d bugs; %d entries, %d paths, %d typestates, %d repeated dropped, %d false dropped\n",
 		len(r.Bugs), r.Stats.EntryFunctions, r.Stats.PathsExplored,
 		r.Stats.Typestates, r.Stats.RepeatedDropped, r.Stats.FalseDropped)
