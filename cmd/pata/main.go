@@ -15,6 +15,7 @@
 //	-no-prune              disable Stage-1 infeasible-branch pruning
 //	-no-memo               disable Stage-1 (block, state) memoization
 //	-no-summaries          disable Stage-1 interprocedural callee summaries
+//	-no-adaptive           disable the per-entry adaptive cost model
 //	-max-conts N           callee continuations per call (P2 cap; negative = unlimited)
 //	-stats                 print engine statistics
 //	-json                  emit machine-readable JSON
@@ -51,6 +52,7 @@ func main() {
 	noPrune := flag.Bool("no-prune", false, "disable Stage-1 on-the-fly infeasible-branch pruning")
 	noMemo := flag.Bool("no-memo", false, "disable Stage-1 (block, state) subtree memoization")
 	noSummaries := flag.Bool("no-summaries", false, "disable Stage-1 interprocedural callee summaries")
+	noAdaptive := flag.Bool("no-adaptive", false, "disable the per-entry adaptive cost model (always run the full layer stack)")
 	maxConts := flag.Int("max-conts", 0, "callee continuations per call: the P2 cap (0 = default 2, negative = unlimited)")
 	stats := flag.Bool("stats", false, "print engine statistics")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
@@ -73,6 +75,7 @@ func main() {
 		NoPrune:                 *noPrune,
 		NoMemo:                  *noMemo,
 		NoSummaries:             *noSummaries,
+		NoAdaptive:              *noAdaptive,
 		MaxContinuationsPerCall: *maxConts,
 		LoopUnroll:              *unroll,
 		Workers:                 *workers,

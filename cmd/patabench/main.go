@@ -6,6 +6,7 @@
 //	patabench -exp table4|table5|table6|table7|table8|fig11|fpaudit|cases|fsm|pruning|summaries|degrade|all
 //	patabench -exp bench [-bench-out BENCH_pipeline.json]
 //	patabench -exp incremental [-incremental-out BENCH_incremental.json]
+//	patabench -exp smoke
 //
 // -cpuprofile/-memprofile write pprof profiles of the selected experiment,
 // for chasing regressions in the analysis hot loops.
@@ -90,6 +91,13 @@ func main() {
 	if *which == "incremental" {
 		if err := exp.WriteIncrementalJSON(os.Stdout, *incOut); err != nil {
 			fail("incremental", err)
+		}
+	}
+	// smoke is the CI wall-clock gate for the adaptive cost model; it runs
+	// only when selected so -exp all stays timing-independent.
+	if *which == "smoke" {
+		if err := exp.BenchSmoke(os.Stdout); err != nil {
+			fail("smoke", err)
 		}
 	}
 }

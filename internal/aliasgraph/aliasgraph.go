@@ -13,6 +13,7 @@ package aliasgraph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -122,6 +123,10 @@ type Graph struct {
 	// allocation dominated its cost).
 	canonLabels map[*Node]uint64
 	canonSeeded map[*Node]bool
+	// canonSub/canonInSub are CanonStateSeeded's scratch: the seed-reachable
+	// subgraph in creation order, and its membership set.
+	canonSub   []*Node
+	canonInSub map[*Node]bool
 }
 
 // Mark is a checkpoint into the trail.
@@ -588,6 +593,111 @@ func (g *Graph) CanonState(relevant func(cir.Value) bool) (uint64, map[*Node]uin
 			}
 		}
 	}
+	return d, labels
+}
+
+// CanonStateSeeded computes exactly what CanonState computes, but in time
+// proportional to the seed-reachable subgraph instead of the whole graph.
+// The caller passes the relevant variables directly (each exactly once —
+// seeding XORs, so a duplicate would cancel itself; unbound variables are
+// skipped) instead of having the graph filter every variable it has ever
+// bound; the fixpoint and the digest then walk only the nodes reachable from
+// the seeds. Since label propagation can only flow out of labelled nodes,
+// every node CanonState would label lies in that reachable set, and
+// iterating it in node-creation order with the same round cap replays the
+// full loop's update sequence verbatim — the digest, the label map, and even
+// the early-exit behaviour on pathological cycles are bit-identical
+// (TestCanonSeededCrossCheck pins this against the full path on whole
+// corpora).
+//
+// The returned label map is scratch storage owned by the graph, valid only
+// until the next CanonState/CanonStateSeeded call; vars is borrowed only for
+// the duration of the call.
+func (g *Graph) CanonStateSeeded(vars []cir.Value) (uint64, map[*Node]uint64) {
+	if g.canonLabels == nil {
+		g.canonLabels = make(map[*Node]uint64, len(g.varOf))
+		g.canonSeeded = make(map[*Node]bool, len(g.varOf))
+	}
+	if g.canonInSub == nil {
+		g.canonInSub = make(map[*Node]bool, len(g.varOf))
+	}
+	labels, seeded, inSub := g.canonLabels, g.canonSeeded, g.canonInSub
+	clear(labels)
+	clear(seeded)
+	clear(inSub)
+	sub := g.canonSub[:0]
+	for _, v := range vars {
+		n := g.varOf[v]
+		if n == nil {
+			continue
+		}
+		labels[n] ^= hmix.Mix2(tagMember, g.vhash(v))
+		if !seeded[n] {
+			seeded[n] = true
+			inSub[n] = true
+			sub = append(sub, n)
+		}
+	}
+	// Close the seed set under out-edges; sub doubles as the BFS queue.
+	for i := 0; i < len(sub); i++ {
+		for _, t := range sub[i].out {
+			if !inSub[t] {
+				inSub[t] = true
+				sub = append(sub, t)
+			}
+		}
+	}
+	// Creation order = ID order: restricting the full loop's iteration to
+	// this subset preserves the in-round update sequence exactly.
+	slices.SortFunc(sub, func(a, b *Node) int { return a.ID - b.ID })
+	// Same round cap as CanonState (the full node count, not the subset):
+	// the cap only matters on pathological cycles, and both paths must give
+	// up after the same number of rounds to stay bit-identical there.
+	for round := 0; round <= len(g.nodes); round++ {
+		changed := false
+		for _, n := range sub {
+			ln, ok := labels[n]
+			if !ok {
+				continue
+			}
+			for l, t := range n.out {
+				if seeded[t] {
+					continue
+				}
+				cand := hmix.Mix3(tagCanonReach, ln, g.lhash(l))
+				if cur, ok := labels[t]; !ok || cand < cur {
+					labels[t] = cand
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	var d uint64
+	for _, v := range vars {
+		n := g.varOf[v]
+		if n == nil {
+			continue
+		}
+		d ^= hmix.Mix3(tagMember, g.vhash(v), labels[n])
+	}
+	for _, n := range sub {
+		ln, ok := labels[n]
+		if !ok {
+			continue
+		}
+		if n.ConstVal != nil {
+			d ^= hmix.Mix3(tagConst, ln, constHash(n.ConstVal))
+		}
+		for l, t := range n.out {
+			if lt, ok := labels[t]; ok {
+				d ^= hmix.Mix4(tagEdge, ln, g.lhash(l), lt)
+			}
+		}
+	}
+	g.canonSub = sub[:0]
 	return d, labels
 }
 

@@ -53,6 +53,10 @@ func (c Config) analysisSalt(mod *cir.Module) uint64 {
 	// EntryTimeout/RunTimeout/MaxRetries deliberately are not — degraded
 	// entries are simply never persisted, so timing knobs cannot poison
 	// the cache and changing them must not invalidate healthy capsules.
+	// NoAdaptive/AdaptiveProbe/CanonFull are likewise excluded: the
+	// adaptive cost model and the digest cache only re-schedule work, and
+	// every layer combination they select is report-preserving, so the
+	// persisted candidates are identical under every setting.
 	h = hmix.Mix2(h, boolBit(c.FaultHook != nil))
 	h = hmix.Mix2(h, uint64(len(c.Checkers)))
 	for _, chk := range c.Checkers {

@@ -126,6 +126,16 @@ func TestAnalysisSaltInvalidation(t *testing.T) {
 	if salt(irr) != s0 {
 		t.Error("EntryTimeout/RunTimeout/MaxRetries changed the salt")
 	}
+	// The adaptive cost model and the canon digest cache only re-schedule
+	// work — every layer combination they select is report-preserving — so
+	// their knobs must not invalidate healthy capsules either.
+	irr = base
+	irr.NoAdaptive = true
+	irr.AdaptiveProbe = 64
+	irr.CanonFull = true
+	if salt(irr) != s0 {
+		t.Error("NoAdaptive/AdaptiveProbe/CanonFull changed the salt")
+	}
 
 	// A new global invalidates.
 	mod2 := lowerCapsuleSrc(t)

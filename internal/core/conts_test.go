@@ -37,7 +37,7 @@ int f(int x) {
 		t.Fatal(err)
 	}
 	analyze := func(maxConts int) *core.Result {
-		return core.NewEngine(mod, core.Config{MaxContinuationsPerCall: maxConts}).Run()
+		return core.NewEngine(mod, core.Config{MaxContinuationsPerCall: maxConts, NoAdaptive: true}).Run()
 	}
 	npd := func(res *core.Result) int {
 		n := 0

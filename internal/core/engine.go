@@ -87,6 +87,27 @@ type Config struct {
 	// later matching activations instead of re-walking the callee (see
 	// summary.go). Active only in ModePATA and when Trace is nil.
 	NoSummaries bool
+	// NoAdaptive disables the per-entry adaptive cost model: by default the
+	// engine sizes up each entry before exploring it and watches the pruning,
+	// memoization, and summary layers' hit/yield rates during a probation
+	// window, switching off any layer that is not paying for itself on that
+	// entry. Decisions use only deterministic step/hit counts (never wall
+	// clock) and take effect only at activation boundaries, so the validated
+	// bug set — and the full report — is byte-identical with the controller
+	// on or off, sequentially and in parallel. Active only in ModePATA and
+	// when Trace is nil.
+	NoAdaptive bool
+	// AdaptiveProbe overrides the adaptive controller's probation window in
+	// executed steps (0 selects the default; negative pins the window open,
+	// i.e. observe forever and never disable). Exposed for experiments.
+	AdaptiveProbe int
+	// CanonFull computes every memo/summary key with the full CanonState
+	// re-labelling (a relevance filter over every variable, a fixpoint over
+	// every node) instead of the seed-restricted CanonStateSeeded walk.
+	// Debug knob: the two paths are bit-identical by construction (the
+	// cross-check tests pin this on whole corpora), so this only trades
+	// speed for nothing — it exists to isolate the seeded path in A/B runs.
+	CanonFull bool
 	// Validate enables Stage-2 path validation (default true). The
 	// ValidatePath hook is installed by the pathval package (or a custom
 	// validator); when nil, validation is skipped.
@@ -308,6 +329,21 @@ type Stats struct {
 	PanicsContained int
 	EntriesRetried  int
 	EntriesDegraded int
+	// Adaptive cost-model counters. AdaptiveEntriesLight counts entries the
+	// pre-flight size gate ran with every precision layer off;
+	// AdaptiveLayersOff counts per-entry layer deactivations the probation
+	// controller made mid-flight (0–3 per entry). Both are deterministic:
+	// decisions use only step/hit counts, never wall clock.
+	AdaptiveEntriesLight int64
+	AdaptiveLayersOff    int64
+	// Per-layer self-time, in nanoseconds: CanonNanos covers memo/summary
+	// key computation (canonical digests and their cache), CursorNanos the
+	// incremental feasibility cursor's branch/replay consults, SolverNanos
+	// the Stage-2 validation calls. Wall-clock measurements: nondeterministic
+	// across runs, excluded from every equivalence comparison.
+	CanonNanos  int64
+	CursorNanos int64
+	SolverNanos int64
 	AnalysisTime    time.Duration
 	ValidationTime  time.Duration
 }
@@ -363,6 +399,16 @@ type Engine struct {
 	sumFailed  map[uint64]bool
 	sumStack   []*sumFrame
 	sumScratch [1]*blockInfo
+
+	// canonSeen/canonVarW are canonDigests' seed-assembly scratch: memo keys
+	// union the reach sets of the block and every stacked call site, and a
+	// variable in two sets must seed the canonicalization exactly once.
+	canonSeen map[cir.Value]bool
+	canonVarW []cir.Value
+	// adapt is the per-entry adaptive cost-model state (nil when disabled);
+	// fnLocal memoizes per-function size counts for its pre-flight gate.
+	adapt   *adaptState
+	fnLocal map[*cir.Function]fnCounts
 
 	paths int64
 	steps int64
@@ -477,7 +523,7 @@ func (e *Engine) RunCtx(ctx context.Context) *Result {
 	for _, pb := range e.possible {
 		b := &Bug{PossibleBug: pb}
 		if e.Cfg.Validate && e.Cfg.ValidatePath != nil {
-			out := validateGuarded(ctx, e.Cfg, pb)
+			out := validateGuarded(ctx, e.Cfg, pb, &res.Stats.SolverNanos)
 			res.Stats.Constraints += out.Constraints
 			res.Stats.ConstraintsUnaware += out.ConstraintsUnaware
 			res.Stats.ValidationCacheHits += out.CacheHits
@@ -606,11 +652,28 @@ func (e *Engine) analyzeEntry(fn *cir.Function) {
 	e.sumFailed = nil
 	e.sumStack = e.sumStack[:0]
 	e.suffixArena.reset()
-	if e.Cfg.Mode == ModePATA && e.Cfg.Trace == nil {
-		if e.Cfg.PruneInfeasible() {
+	e.adapt = nil
+	adaptive := e.Cfg.adaptiveOn()
+	light, reuse := false, false
+	if adaptive {
+		// Small entry: full exploration is cheaper than prune/memo setup, so
+		// those layers stay nil. Summaries survive the gate when the closure
+		// shows repeated callees (reuse) — replay is the one layer that can
+		// still pay on a small entry. The report is unaffected either way
+		// because each layer is individually report-preserving.
+		light, reuse = e.adaptGate(fn)
+		if light {
+			e.stats.AdaptiveEntriesLight++
+		}
+	}
+	if e.Cfg.Mode == ModePATA && e.Cfg.Trace == nil && (!light || reuse) {
+		if adaptive {
+			e.adaptStart()
+		}
+		if e.Cfg.PruneInfeasible() && !light {
 			e.pruner = newPruner()
 		}
-		if e.Cfg.MemoStates() {
+		if e.Cfg.MemoStates() && !light {
 			e.memo = make(map[uint64]memoRec)
 			if e.reach == nil {
 				e.reach = newReachSets(e.Mod)
@@ -706,7 +769,8 @@ func (e *Engine) exec(in cir.Instr) {
 	if e.budgetExceeded() {
 		return
 	}
-	if e.memo != nil {
+	e.adaptMaybeDecide()
+	if e.memo != nil && e.adaptMemoOn() {
 		// Only block entries at CFG join points are worth fingerprinting:
 		// distinct DFS routes can converge only there, so memoizing
 		// single-predecessor blocks would pay the canonicalization cost
@@ -718,6 +782,9 @@ func (e *Engine) exec(in cir.Instr) {
 				// through to plain execution for this block entry.
 				e.execStep(in)
 				return
+			}
+			if e.adapt != nil {
+				e.adapt.memoLookups++
 			}
 			if rec, ok := e.memo[key]; ok {
 				e.stats.MemoHits++
@@ -785,16 +852,7 @@ func (e *Engine) memoKey(in cir.Instr) (uint64, bool) {
 		sets = append(sets, e.reach.blockReach(f.call.Block()))
 	}
 	e.reachScratch = sets[:0]
-	relevant := func(v cir.Value) bool {
-		for _, s := range sets {
-			if s.vals[v] {
-				return true
-			}
-		}
-		return false
-	}
-	gd, labels := e.g.CanonState(relevant)
-	td, ok := e.tracker.CanonDigest(labels)
+	gd, td, _, ok := e.canonDigests(sets)
 	if !ok {
 		return 0, false
 	}
@@ -935,6 +993,14 @@ func instrSuccessors(in cir.Instr) []cir.Instr {
 }
 
 func (e *Engine) execCondBr(br *cir.CondBr) {
+	if e.pruner != nil {
+		// Flush queued binop atoms outside the per-direction checkpoints so
+		// both subtrees share one flush; inside the loop each direction would
+		// re-push the whole shared prefix after the sibling's rollback.
+		t0 := time.Now()
+		e.pruner.flushPending()
+		e.stats.CursorNanos += int64(time.Since(t0))
+	}
 	for _, taken := range []bool{true, false} {
 		target := br.False
 		if taken {
@@ -955,8 +1021,14 @@ func (e *Engine) execCondBr(br *cir.CondBr) {
 			// whole subtree when the path condition becomes unsatisfiable:
 			// every candidate it could produce carries a path Stage-2
 			// validation would prove infeasible.
+			if e.adapt != nil {
+				e.adapt.branchConsults++
+			}
 			pm = e.pruner.mark()
-			if e.pruner.pushBranch(e.g, br, taken) == smt.Unsat {
+			t0 := time.Now()
+			verdict := e.pruner.pushBranch(e.g, br, taken)
+			e.stats.CursorNanos += int64(time.Since(t0))
+			if verdict == smt.Unsat {
 				e.notePrune()
 				e.pruner.rollback(pm)
 				e.tracker.Rollback(tm)
@@ -1021,8 +1093,11 @@ func (e *Engine) execCall(call *cir.Call) {
 	// state, a matching activation replays the recorded callee effects; a
 	// first activation records them while walking live. Either way the
 	// bindings roll back below like a live walk's would.
-	if e.summariesOn() {
+	if e.summariesOn() && e.adaptSumOn() {
 		if key, labels, ok := e.summaryKey(callee); ok {
+			if e.adapt != nil {
+				e.adapt.sumLookups++
+			}
 			if rec, hit := e.sums[key]; hit {
 				if e.replaySummary(call, rec, labels) {
 					e.tracker.Rollback(tm)

@@ -135,7 +135,7 @@ void func(struct s *p, char *q) {
 			use(*q);        /* line 10: only reachable when q != 0 AND q == 0 */
 	}
 }`}
-	res := run(t, core.Config{}, src)
+	res := run(t, core.Config{NoAdaptive: true}, src)
 	for _, b := range res.Bugs {
 		if b.BugInstr.Position().Line == 10 {
 			t.Errorf("infeasible-path bug at line 10 survived (pruning on)")

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cir"
@@ -214,7 +215,9 @@ func runEntryIsolated(eng *Engine, fn *cir.Function) (*Result, *Engine, bool) {
 // per-candidate deadline. A panicking validator keeps the bug (Feasible,
 // but not Validated) — dropping a report because the checker crashed would
 // be unsound for a bug finder.
-func validateGuarded(ctx context.Context, cfg Config, pb *PossibleBug) (out ValidationOutcome) {
+func validateGuarded(ctx context.Context, cfg Config, pb *PossibleBug, solverNanos *int64) (out ValidationOutcome) {
+	start := time.Now()
+	defer func() { atomic.AddInt64(solverNanos, int64(time.Since(start))) }()
 	if cfg.EntryTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.EntryTimeout)

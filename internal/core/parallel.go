@@ -105,6 +105,10 @@ func (e *Engine) runEntryDelta(fn *cir.Function) *Result {
 	res.Stats.Typestates = trk.Transitions - prevTrk.Transitions
 	res.Stats.TypestatesUnaware = trk.TransitionsUnaware - prevTrk.TransitionsUnaware
 	res.Stats.DeadlineTrips = e.stats.DeadlineTrips - prev.DeadlineTrips
+	res.Stats.AdaptiveEntriesLight = e.stats.AdaptiveEntriesLight - prev.AdaptiveEntriesLight
+	res.Stats.AdaptiveLayersOff = e.stats.AdaptiveLayersOff - prev.AdaptiveLayersOff
+	res.Stats.CanonNanos = e.stats.CanonNanos - prev.CanonNanos
+	res.Stats.CursorNanos = e.stats.CursorNanos - prev.CursorNanos
 	return res
 }
 
@@ -324,6 +328,7 @@ func RunParallelCtx(ctx context.Context, mod *cir.Module, cfg Config, workers in
 	// post-merge cached pass instead.
 	validate := cfg.Validate && cfg.ValidatePath != nil
 	eager := validate && cache == nil
+	var solverNanos int64 // shared by every validator goroutine below
 	vtasks := make(chan *candRec, 4*vworkers)
 	var wgV sync.WaitGroup
 	if eager {
@@ -332,7 +337,7 @@ func RunParallelCtx(ctx context.Context, mod *cir.Module, cfg Config, workers in
 			go func() {
 				defer wgV.Done()
 				for rec := range vtasks {
-					rec.out = validateGuarded(ctx, cfg, rec.prim)
+					rec.out = validateGuarded(ctx, cfg, rec.prim, &solverNanos)
 				}
 			}()
 		}
@@ -388,6 +393,10 @@ func RunParallelCtx(ctx context.Context, mod *cir.Module, cfg Config, workers in
 				s.PanicsContained += r.Stats.PanicsContained
 				s.EntriesRetried += r.Stats.EntriesRetried
 				s.EntriesDegraded += r.Stats.EntriesDegraded
+				s.AdaptiveEntriesLight += r.Stats.AdaptiveEntriesLight
+				s.AdaptiveLayersOff += r.Stats.AdaptiveLayersOff
+				s.CanonNanos += r.Stats.CanonNanos
+				s.CursorNanos += r.Stats.CursorNanos
 				for _, pb := range r.Possible {
 					k := mergeKey{checker: pb.Checker.Name(), origin: pb.OriginGID, bug: pb.BugInstr.GID()}
 					if prev, dup := seen[k]; dup {
@@ -454,7 +463,7 @@ func RunParallelCtx(ctx context.Context, mod *cir.Module, cfg Config, workers in
 							}
 						}
 					}
-					rec.out = validateGuarded(ctx, cfg, rec.pb)
+					rec.out = validateGuarded(ctx, cfg, rec.pb, &solverNanos)
 					// An interrupted or panicked verdict is conservative,
 					// not proven; persisting it would freeze a guess.
 					if keyed && !rec.out.TimedOut && !rec.out.Panicked {
@@ -481,7 +490,7 @@ func RunParallelCtx(ctx context.Context, mod *cir.Module, cfg Config, workers in
 					alt := *rec.pb
 					alt.Path = rec.pb.AltPaths[0]
 					alt.AltPaths = rec.pb.AltPaths[1:]
-					out := validateGuarded(ctx, cfg, &alt)
+					out := validateGuarded(ctx, cfg, &alt, &solverNanos)
 					rec.out.Feasible = out.Feasible
 					rec.out.Constraints += out.Constraints
 					rec.out.ConstraintsUnaware += out.ConstraintsUnaware
@@ -527,6 +536,7 @@ func RunParallelCtx(ctx context.Context, mod *cir.Module, cfg Config, workers in
 	}
 	merged.Stats.PossibleBugs = int64(len(merged.Possible)) + merged.Stats.RepeatedDropped
 	merged.Stats.WorkSteals = atomic.LoadInt64(&steals)
+	merged.Stats.SolverNanos += atomic.LoadInt64(&solverNanos)
 	merged.Stats.ValidationTime = time.Since(vstart)
 	return merged
 }

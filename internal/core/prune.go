@@ -45,6 +45,40 @@ type pruner struct {
 	// reads the suffix pushed since a call-site activation began.
 	logAtoms bool
 	atomLog  []atomLogEntry
+	// sigCount/sigLog index the live branch atoms by exact syntactic shape
+	// (predicate + operand identity), so pushBranch can refute a directly
+	// negated repeat of an earlier condition without consulting the cursor.
+	// The log is the undo trail: rollback pops entries past the mark.
+	sigCount map[atomSig]int
+	sigLog   []atomSig
+	// pending queues binop equalities (whose assert-time feasibility result
+	// the engine discards anyway) until something actually consults the
+	// cursor: a branch atom, a summary replay, or a summary frame boundary
+	// that must attribute atoms to the right recording window. Binops on
+	// branch-free path tails — and every binop in a subtree the DFS rolls
+	// back before its next branch — never pay for linearization or
+	// propagation at all. pending[:flushed] has been pushed; rollback
+	// restores both cursors, so a flush inside a subtree is undone with it.
+	pending []smt.Formula
+	flushed int
+	// off disables the pruner mid-entry (the adaptive controller's kill
+	// switch): pushes become no-ops answering Sat, while mark/rollback keep
+	// working so the engine's checkpoint discipline is undisturbed. Turning
+	// the pruner off only weakens the asserted conjunction, which cannot
+	// change the validated bug set.
+	off bool
+}
+
+// atomSig is the exact syntactic identity of a branch atom: predicate plus
+// each operand encoded as (isVar, var-ID-or-constant). Only atoms whose
+// operands are class symbols or integer literals are sigable; exact struct
+// keys (not hashes) keep the contradiction check collision-free and
+// therefore sound.
+type atomSig struct {
+	pred   cir.Pred
+	xv, yv int64
+	xIsVar bool
+	yIsVar bool
 }
 
 type atomLogEntry struct {
@@ -54,15 +88,23 @@ type atomLogEntry struct {
 
 func newPruner() *pruner {
 	ctx := smt.NewContext()
-	return &pruner{ctx: ctx, cursor: smt.NewCursor(ctx), syms: make(map[int]*smt.Var)}
+	return &pruner{
+		ctx:      ctx,
+		cursor:   smt.NewCursor(ctx),
+		syms:     make(map[int]*smt.Var),
+		sigCount: make(map[atomSig]int),
+	}
 }
 
 type prunerMark struct {
 	cm smt.CursorMark
+	sl int
+	pl int
+	fl int
 }
 
 func (p *pruner) mark() prunerMark {
-	return prunerMark{cm: p.cursor.Checkpoint()}
+	return prunerMark{cm: p.cursor.Checkpoint(), sl: len(p.sigLog), pl: len(p.pending), fl: p.flushed}
 }
 
 func (p *pruner) rollback(m prunerMark) {
@@ -70,9 +112,38 @@ func (p *pruner) rollback(m prunerMark) {
 	for len(p.atomLog) > 0 && p.atomLog[len(p.atomLog)-1].cm >= m.cm {
 		p.atomLog = p.atomLog[:len(p.atomLog)-1]
 	}
+	for len(p.sigLog) > int(m.sl) {
+		s := p.sigLog[len(p.sigLog)-1]
+		p.sigLog = p.sigLog[:len(p.sigLog)-1]
+		if p.sigCount[s] <= 1 {
+			delete(p.sigCount, s)
+		} else {
+			p.sigCount[s]--
+		}
+	}
+	p.pending = p.pending[:m.pl]
+	p.flushed = m.fl
+}
+
+// flushPending pushes every queued binop equality into the cursor, logging
+// each exactly as an eager push would have. After a flush the cursor state
+// is identical to the eager regime, so every consult sees the same
+// conjunction either way.
+func (p *pruner) flushPending() {
+	for ; p.flushed < len(p.pending); p.flushed++ {
+		f := p.pending[p.flushed]
+		if p.logAtoms {
+			p.atomLog = append(p.atomLog, atomLogEntry{f: f, cm: p.cursor.Checkpoint()})
+		}
+		p.cursor.Push(f)
+	}
 }
 
 func (p *pruner) push(f smt.Formula) smt.Result {
+	if p.off {
+		return smt.Sat
+	}
+	p.flushPending()
 	if p.logAtoms {
 		p.atomLog = append(p.atomLog, atomLogEntry{f: f, cm: p.cursor.Checkpoint()})
 	}
@@ -117,8 +188,21 @@ func (p *pruner) termOf(g *aliasgraph.Graph, v cir.Value) smt.Term {
 // pushBranch asserts the Table 3 brt/brf atom for taking br in the given
 // direction and reports whether the accumulated path constraints remain
 // possibly satisfiable. Untranslatable conditions assert nothing and answer
-// Sat.
+// Sat. Two syntactic fast paths run before the cursor is consulted:
+// constant-folded atoms evaluate directly (a false constant condition needs
+// no solver to refute, a true one carries no information worth storing), and
+// an atom that exactly negates a live earlier branch atom — same predicate
+// operands by class-symbol/constant identity, complementary predicate in
+// either operand order — is refuted immediately. Both answers are sound:
+// the constant evaluation is exact, and a live atom A together with its
+// direct negation is unsatisfiable in any theory. The interval cursor cannot
+// see the second kind at all (x < y followed by x >= y leaves both
+// intervals unbounded), so the signature check adds prune power on top of
+// costing less.
 func (p *pruner) pushBranch(g *aliasgraph.Graph, br *cir.CondBr, taken bool) smt.Result {
+	if p.off {
+		return smt.Sat
+	}
 	reg, ok := br.Cond.(*cir.Register)
 	if !ok || reg.Def == nil {
 		return smt.Sat
@@ -131,11 +215,99 @@ func (p *pruner) pushBranch(g *aliasgraph.Graph, br *cir.CondBr, taken bool) smt
 	if !taken {
 		pred = pred.Negate()
 	}
-	return p.push(prunePredAtom(pred, p.termOf(g, cmp.X), p.termOf(g, cmp.Y)))
+	x := p.termOf(g, cmp.X)
+	y := p.termOf(g, cmp.Y)
+	if xl, ok := x.(*smt.IntLit); ok {
+		if yl, ok := y.(*smt.IntLit); ok {
+			if evalPred(pred, xl.Val, yl.Val) {
+				return smt.Sat
+			}
+			return smt.Unsat
+		}
+	}
+	sig, sigable := sigOf(pred, x, y)
+	if sigable {
+		neg := sig
+		neg.pred = sig.pred.Negate()
+		if p.sigCount[neg] > 0 {
+			return smt.Unsat
+		}
+		// Same negation with operands written the other way round:
+		// x >= y is also refuted by a live y > x.
+		swp := atomSig{pred: swapPred(neg.pred), xv: neg.yv, yv: neg.xv, xIsVar: neg.yIsVar, yIsVar: neg.xIsVar}
+		if p.sigCount[swp] > 0 {
+			return smt.Unsat
+		}
+		p.sigCount[sig]++
+		p.sigLog = append(p.sigLog, sig)
+	}
+	return p.push(prunePredAtom(pred, x, y))
+}
+
+// sigOf encodes an atom's exact syntactic identity, or reports that one of
+// the operands is not a plain symbol/literal.
+func sigOf(pred cir.Pred, x, y smt.Term) (atomSig, bool) {
+	s := atomSig{pred: pred}
+	switch t := x.(type) {
+	case *smt.Var:
+		s.xv, s.xIsVar = int64(t.ID), true
+	case *smt.IntLit:
+		s.xv = t.Val
+	default:
+		return s, false
+	}
+	switch t := y.(type) {
+	case *smt.Var:
+		s.yv, s.yIsVar = int64(t.ID), true
+	case *smt.IntLit:
+		s.yv = t.Val
+	default:
+		return s, false
+	}
+	return s, true
+}
+
+// swapPred returns the predicate P' with x P y equivalent to y P' x.
+func swapPred(p cir.Pred) cir.Pred {
+	switch p {
+	case cir.PredLT:
+		return cir.PredGT
+	case cir.PredLE:
+		return cir.PredGE
+	case cir.PredGT:
+		return cir.PredLT
+	case cir.PredGE:
+		return cir.PredLE
+	}
+	return p // EQ and NE are symmetric
+}
+
+func evalPred(p cir.Pred, a, b int64) bool {
+	switch p {
+	case cir.PredEQ:
+		return a == b
+	case cir.PredNE:
+		return a != b
+	case cir.PredLT:
+		return a < b
+	case cir.PredLE:
+		return a <= b
+	case cir.PredGT:
+		return a > b
+	case cir.PredGE:
+		return a >= b
+	}
+	return true
 }
 
 // pushBinOp asserts dst = x op y, mirroring the replayer's replayBinOp.
+// The terms are translated now (class membership is a property of this
+// program point) but the resulting equality is only queued; flushPending
+// hands it to the cursor when a consult needs it.
 func (p *pruner) pushBinOp(g *aliasgraph.Graph, t *cir.BinOp) {
+	if p.off {
+		return
+	}
 	x := p.termOf(g, t.X)
 	y := p.termOf(g, t.Y)
 	var term smt.Term
@@ -153,7 +325,7 @@ func (p *pruner) pushBinOp(g *aliasgraph.Graph, t *cir.BinOp) {
 	default:
 		term = smt.Bin(string(t.Op), x, y)
 	}
-	p.push(smt.Eq(p.symOf(g.NodeOf(t.Dst)), term))
+	p.pending = append(p.pending, smt.Eq(p.symOf(g.NodeOf(t.Dst)), term))
 }
 
 func prunePredAtom(p cir.Pred, x, y smt.Term) smt.Formula {

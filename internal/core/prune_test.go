@@ -44,7 +44,7 @@ func TestPruningEquivalence(t *testing.T) {
 		for _, cs := range checkerSets {
 			t.Run(spec.Name+"/"+cs.name, func(t *testing.T) {
 				mk := func(disable bool) core.Config {
-					cfg := core.Config{Checkers: cs.mk(), NoPrune: disable, NoMemo: disable}
+					cfg := core.Config{Checkers: cs.mk(), NoPrune: disable, NoMemo: disable, NoAdaptive: true}
 					pathval.New().Install(&cfg)
 					return cfg
 				}
@@ -125,7 +125,7 @@ func TestBudgetNegativeUnlimited(t *testing.T) {
 	}
 	// Pruning/memoization would collapse the correlated branches; this
 	// test is about the raw budget arithmetic.
-	base := core.Config{NoPrune: true, NoMemo: true}
+	base := core.Config{NoPrune: true, NoMemo: true, NoAdaptive: true}
 
 	capped := base
 	capped.MaxPathsPerEntry = 64
@@ -169,7 +169,7 @@ func TestMemoBudgetCharging(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := core.Config{NoPrune: true, MaxPathsPerEntry: 100}
+	cfg := core.Config{NoPrune: true, NoAdaptive: true, MaxPathsPerEntry: 100}
 	res := core.NewEngine(mod, cfg).Run()
 	if res.Stats.MemoHits == 0 {
 		t.Fatalf("expected memo hits, stats: %+v", res.Stats)

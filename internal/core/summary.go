@@ -182,13 +182,11 @@ func (e *Engine) summariesOn() bool { return e.sums != nil }
 // be canonicalized and the activation must be walked live.
 func (e *Engine) summaryKey(callee *cir.Function) (uint64, map[*aliasgraph.Node]uint64, bool) {
 	bi := e.reach.blockReach(callee.Entry())
-	relevant := func(v cir.Value) bool { return bi.vals[v] }
-	gd, labels := e.g.CanonState(relevant)
-	td, ok := e.tracker.CanonDigest(labels)
+	e.sumScratch[0] = bi
+	gd, td, labels, ok := e.canonDigests(e.sumScratch[:])
 	if !ok {
 		return 0, nil, false
 	}
-	e.sumScratch[0] = bi
 	h := hmix.Mix4(uint64(callee.Entry().Instrs[0].GID()), gd, td, e.onPathDigest(e.sumScratch[:]))
 	return hmix.Mix2(h, uint64(len(e.frames))), labels, true
 }
@@ -265,6 +263,10 @@ func (e *Engine) recordCall(call *cir.Call, callee *cir.Function, key uint64, la
 		sf.labels[n] = l
 	}
 	if e.pruner != nil {
+		// Flush queued binop atoms first so pre-activation atoms land in the
+		// log before the window mark; otherwise a caller-context atom could be
+		// attributed to the callee window and replayed at an unrelated site.
+		e.pruner.flushPending()
 		sf.atomLen = len(e.pruner.atomLog)
 	}
 	fr := &frame{fn: callee, call: call, fid: len(e.frames) + 1}
@@ -328,6 +330,9 @@ func (e *Engine) captureCont(sf *sumFrame, ret *cir.Ret) {
 		})
 	}
 	if e.pruner != nil {
+		// Atoms queued during the callee walk must enter the log before the
+		// window suffix is read, or the summary would silently drop them.
+		e.pruner.flushPending()
 		seen := make(map[*smt.Var]bool)
 		for _, ent := range e.pruner.atomLog[sf.atomLen:] {
 			clear(seen)

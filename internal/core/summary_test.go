@@ -45,7 +45,7 @@ func TestSummaryEquivalence(t *testing.T) {
 			for _, m := range modes {
 				t.Run(spec.Name+"/"+cs.name+"/"+m.name, func(t *testing.T) {
 					mk := func(disable bool) core.Config {
-						cfg := core.Config{Checkers: cs.mk(), Mode: m.mode, NoSummaries: disable}
+						cfg := core.Config{Checkers: cs.mk(), Mode: m.mode, NoSummaries: disable, NoAdaptive: true}
 						pathval.New().Install(&cfg)
 						return cfg
 					}
@@ -91,7 +91,7 @@ func TestSummaryEquivalenceParallel(t *testing.T) {
 		t.Fatal(err)
 	}
 	mk := func() core.Config {
-		cfg := core.Config{Checkers: typestate.AllCheckers(), ValidateWorkers: 2}
+		cfg := core.Config{Checkers: typestate.AllCheckers(), ValidateWorkers: 2, NoAdaptive: true}
 		pathval.New().Install(&cfg)
 		return cfg
 	}
@@ -135,7 +135,7 @@ func TestSummaryBudgetCharging(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := core.Config{NoPrune: true, NoMemo: true, MaxStepsPerEntry: 2000, MaxPathsPerEntry: -1}
+	cfg := core.Config{NoPrune: true, NoMemo: true, NoAdaptive: true, MaxStepsPerEntry: 2000, MaxPathsPerEntry: -1}
 	res := core.NewEngine(mod, cfg).Run()
 	if res.Stats.SummaryHits == 0 {
 		t.Fatalf("expected summary hits, stats: %+v", res.Stats)

@@ -6,14 +6,47 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/oscorpus"
 )
 
+// benchVariants are the engine configurations the pipeline bench compares.
+// "defaults" is the shipped configuration: every layer available plus the
+// per-entry adaptive cost model that decides which layers an entry actually
+// runs. The remaining variants force the cost model off (NoAdaptive) and
+// ablate fixed layer subsets, so the grid shows both what the layers buy in
+// explored work and what the cost model buys in wall-clock.
+var benchVariants = []string{"defaults", "always-on", "no-prune-no-memo", "no-summaries", "all-off"}
+
+func benchConfig(variant string) core.Config {
+	cfg := PATAConfig()
+	switch variant {
+	case "always-on":
+		cfg.NoAdaptive = true
+	case "no-prune-no-memo":
+		cfg.NoAdaptive = true
+		cfg.NoPrune = true
+		cfg.NoMemo = true
+	case "no-summaries":
+		cfg.NoAdaptive = true
+		cfg.NoSummaries = true
+	case "all-off":
+		cfg.NoAdaptive = true
+		cfg.NoPrune = true
+		cfg.NoMemo = true
+		cfg.NoSummaries = true
+	}
+	return cfg
+}
+
 // BenchEntry is one cell of the pipeline benchmark grid: one corpus, one
-// engine variant, one Stage-1 worker count.
+// engine variant, one Stage-1 worker count. Wall-clock is the best over the
+// row's interleaved rounds (see benchRow); the counters come from the last
+// run (they are deterministic per configuration, so any run's counters are
+// the cell's counters).
 type BenchEntry struct {
 	OS               string  `json:"os"`
-	Variant          string  `json:"variant"` // "defaults", "no-prune-no-memo" or "no-summaries"
+	Variant          string  `json:"variant"`
 	Workers          int     `json:"workers"`
 	WallClockMS      float64 `json:"wall_clock_ms"`
 	PathsExplored    int64   `json:"paths_explored"`
@@ -25,12 +58,17 @@ type BenchEntry struct {
 	SummaryHits      int64   `json:"summary_hits"`
 	SummaryPaths     int64   `json:"summary_paths_replayed"`
 	SummarySteps     int64   `json:"summary_steps_replayed"`
+	AdaptiveLight    int64   `json:"adaptive_entries_light,omitempty"`
+	AdaptiveOff      int64   `json:"adaptive_layers_off,omitempty"`
 	Bugs             int     `json:"bugs"`
 }
 
 // BenchReport is the schema of BENCH_pipeline.json: the full grid plus the
 // aggregate reductions the work-avoidance layers buy. Wall-clock values are
-// machine-dependent; the path/step counters are deterministic.
+// machine-dependent; the path/step counters are deterministic. Reduction
+// percentages compare the forced configurations (always-on vs its
+// ablations), since the adaptive defaults deliberately skip layer work that
+// would not pay in wall-clock.
 type BenchReport struct {
 	Workload          string       `json:"workload"`
 	Entries           []BenchEntry `json:"entries"`
@@ -38,18 +76,72 @@ type BenchReport struct {
 	StepsReductionPct float64      `json:"steps_reduction_pct"`
 	// SummaryStepsReductionPct is the share of Stage-1 executed steps the
 	// interprocedural callee summaries save on the helper-heavy corpus at
-	// workers=1 (defaults vs no-summaries, everything else identical).
+	// workers=1 (always-on vs no-summaries, everything else identical).
 	SummaryStepsReductionPct float64 `json:"summary_steps_reduction_pct"`
+	// DefaultsWorstRatio is max over (corpus, workers) cells of the
+	// adaptive defaults' wall-clock divided by the cell's fastest forced
+	// ablation — the headline number for the adaptive cost model (≤ 1.0
+	// means the defaults are the fastest variant everywhere).
+	DefaultsWorstRatio float64 `json:"defaults_worst_ratio"`
+}
+
+// benchRow runs one (corpus, workers) row: every variant, interleaved
+// round-robin so slow machine-load drift hits all variants equally instead
+// of biasing whichever happened to be measured during a busy stretch.
+// Wall-clock is the per-variant best over the rounds; counters come from the
+// last run (they are deterministic per configuration). Rounds adapt to the
+// row's runtime — at least 3, and rows of small corpora (where a millisecond
+// of scheduler jitter is a double-digit relative error) keep sampling until
+// ~750ms of total measurement or 15 rounds, whichever comes first.
+func benchRow(c *oscorpus.Corpus, workers int) (map[string]BenchEntry, error) {
+	best := map[string]float64{}
+	runs := map[string]*ToolRun{}
+	total := 0.0
+	for round := 0; round < 15 && (round < 3 || total < 750); round++ {
+		for _, variant := range benchVariants {
+			r, err := RunPATAPipelined(c, benchConfig(variant), "pata-bench", workers)
+			if err != nil {
+				return nil, err
+			}
+			ms := float64(r.Elapsed.Microseconds()) / 1000
+			total += ms
+			if cur, ok := best[variant]; !ok || ms < cur {
+				best[variant] = ms
+			}
+			runs[variant] = r
+		}
+	}
+	cell := map[string]BenchEntry{}
+	for _, variant := range benchVariants {
+		run := runs[variant]
+		cell[variant] = BenchEntry{
+			OS:               c.Spec.Name,
+			Variant:          variant,
+			Workers:          workers,
+			WallClockMS:      best[variant],
+			PathsExplored:    run.Stats.PathsExplored,
+			StepsExecuted:    run.Stats.StepsExecuted,
+			PrunedBranches:   run.Stats.PrunedBranches,
+			MemoHits:         run.Stats.MemoHits,
+			MemoPathsSkipped: run.Stats.MemoPathsSkipped,
+			MemoStepsSkipped: run.Stats.MemoStepsSkipped,
+			SummaryHits:      run.Stats.SummaryHits,
+			SummaryPaths:     run.Stats.SummaryPathsReplayed,
+			SummarySteps:     run.Stats.SummaryStepsReplayed,
+			AdaptiveLight:    run.Stats.AdaptiveEntriesLight,
+			AdaptiveOff:      run.Stats.AdaptiveLayersOff,
+			Bugs:             len(run.Reports),
+		}
+	}
+	return cell, nil
 }
 
 // BenchPipeline runs the full two-stage pipeline over every corpus — the
 // four paper OSes plus the helper-heavy summary workload — at Stage-1
-// workers ∈ {1, 4} and three engine variants: the defaults (incremental
-// feasibility pruning + (block, state) memoization + interprocedural callee
-// summaries), no-prune-no-memo, and no-summaries. It collects wall-clock
-// plus the work-avoidance counters. The bug sets of all variants are
-// identical by construction (the equivalence tests assert it); only the
-// explored work differs.
+// workers ∈ {1, 4} and the five engine variants above. It collects
+// wall-clock plus the work-avoidance counters. The bug sets of all variants
+// are identical by construction (the equivalence tests assert it); only the
+// scheduled work differs.
 func BenchPipeline(w io.Writer) (*BenchReport, error) {
 	rep := &BenchReport{Workload: "oscorpus"}
 	var pOn, pOff, sOn, sOff int64
@@ -57,51 +149,32 @@ func BenchPipeline(w io.Writer) (*BenchReport, error) {
 	corpora := append(Corpora(), oscorpus.Generate(oscorpus.HelperHeavySpec()))
 	for _, c := range corpora {
 		for _, workers := range []int{1, 4} {
-			for _, variant := range []string{"defaults", "no-prune-no-memo", "no-summaries"} {
-				cfg := PATAConfig()
-				switch variant {
-				case "no-prune-no-memo":
-					cfg.NoPrune = true
-					cfg.NoMemo = true
-				case "no-summaries":
-					cfg.NoSummaries = true
+			cell, err := benchRow(c, workers)
+			if err != nil {
+				return nil, err
+			}
+			for _, variant := range benchVariants {
+				rep.Entries = append(rep.Entries, cell[variant])
+			}
+			fastest := 0.0
+			for _, variant := range benchVariants[1:] { // forced ablations only
+				if ms := cell[variant].WallClockMS; fastest == 0 || ms < fastest {
+					fastest = ms
 				}
-				run, err := RunPATAPipelined(c, cfg, "pata-bench", workers)
-				if err != nil {
-					return nil, err
+			}
+			if fastest > 0 {
+				if r := cell["defaults"].WallClockMS / fastest; r > rep.DefaultsWorstRatio {
+					rep.DefaultsWorstRatio = r
 				}
-				rep.Entries = append(rep.Entries, BenchEntry{
-					OS:               c.Spec.Name,
-					Variant:          variant,
-					Workers:          workers,
-					WallClockMS:      float64(run.Elapsed.Microseconds()) / 1000,
-					PathsExplored:    run.Stats.PathsExplored,
-					StepsExecuted:    run.Stats.StepsExecuted,
-					PrunedBranches:   run.Stats.PrunedBranches,
-					MemoHits:         run.Stats.MemoHits,
-					MemoPathsSkipped: run.Stats.MemoPathsSkipped,
-					MemoStepsSkipped: run.Stats.MemoStepsSkipped,
-					SummaryHits:      run.Stats.SummaryHits,
-					SummaryPaths:     run.Stats.SummaryPathsReplayed,
-					SummarySteps:     run.Stats.SummaryStepsReplayed,
-					Bugs:             len(run.Reports),
-				})
-				if workers == 1 {
-					switch variant {
-					case "defaults":
-						pOn += run.Stats.PathsExplored
-						sOn += run.Stats.StepsExecuted
-						if c.Spec.Name == "helper-heavy" {
-							hhOn = run.Stats.StepsExecuted
-						}
-					case "no-prune-no-memo":
-						pOff += run.Stats.PathsExplored
-						sOff += run.Stats.StepsExecuted
-					case "no-summaries":
-						if c.Spec.Name == "helper-heavy" {
-							hhOff = run.Stats.StepsExecuted
-						}
-					}
+			}
+			if workers == 1 {
+				pOn += cell["always-on"].PathsExplored
+				sOn += cell["always-on"].StepsExecuted
+				pOff += cell["no-prune-no-memo"].PathsExplored
+				sOff += cell["no-prune-no-memo"].StepsExecuted
+				if c.Spec.Name == "helper-heavy" {
+					hhOn = cell["always-on"].StepsExecuted
+					hhOff = cell["no-summaries"].StepsExecuted
 				}
 			}
 		}
@@ -116,12 +189,50 @@ func BenchPipeline(w io.Writer) (*BenchReport, error) {
 		rep.SummaryStepsReductionPct = 100 * float64(hhOff-hhOn) / float64(hhOff)
 	}
 	if w != nil {
-		fmt.Fprintf(w, "pipeline bench: %.1f%% fewer paths, %.1f%% fewer steps with pruning+memo on (workers=1)\n",
+		fmt.Fprintf(w, "pipeline bench: %.1f%% fewer paths, %.1f%% fewer steps with pruning+memo forced on (workers=1)\n",
 			rep.PathsReductionPct, rep.StepsReductionPct)
 		fmt.Fprintf(w, "summary bench: %.1f%% fewer steps with callee summaries on helper-heavy (workers=1)\n",
 			rep.SummaryStepsReductionPct)
+		fmt.Fprintf(w, "adaptive bench: defaults at worst %.2fx the fastest forced ablation per cell\n",
+			rep.DefaultsWorstRatio)
 	}
 	return rep, nil
+}
+
+// BenchSmoke is the CI regression gate for the adaptive cost model: on the
+// zephyr-like corpus at workers=1 the shipped defaults must stay within 10%
+// of the fastest forced ablation. Variants are interleaved best-of-5 to keep
+// scheduler noise and load drift out of the verdict on a corpus this small.
+func BenchSmoke(w io.Writer) error {
+	c := oscorpus.Generate(oscorpus.ZephyrSpec())
+	best := map[string]float64{}
+	for i := 0; i < 5; i++ {
+		for _, variant := range benchVariants {
+			r, err := RunPATAPipelined(c, benchConfig(variant), "pata-smoke", 1)
+			if err != nil {
+				return err
+			}
+			ms := float64(r.Elapsed.Microseconds()) / 1000
+			if cur, ok := best[variant]; !ok || ms < cur {
+				best[variant] = ms
+			}
+		}
+	}
+	fastest := 0.0
+	for _, variant := range benchVariants[1:] {
+		if ms := best[variant]; fastest == 0 || ms < fastest {
+			fastest = ms
+		}
+	}
+	if w != nil {
+		fmt.Fprintf(w, "bench smoke (zephyr-like, workers=1): defaults %.1fms, fastest ablation %.1fms\n",
+			best["defaults"], fastest)
+	}
+	if fastest > 0 && best["defaults"] > 1.1*fastest {
+		return fmt.Errorf("adaptive defaults regressed: %.1fms vs fastest ablation %.1fms (>1.1x)",
+			best["defaults"], fastest)
+	}
+	return nil
 }
 
 // WriteBenchJSON runs BenchPipeline and writes the report to path

@@ -10,6 +10,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/cir"
 	"repro/internal/core"
@@ -87,6 +88,10 @@ func WriteStats(w io.Writer, st core.Stats) {
 		st.CacheEntriesHit, st.CacheEntriesMiss, st.CacheStepsSkipped)
 	fmt.Fprintf(w, "  fault isolation:     %d degraded, %d retried, %d deadline trips, %d panics contained\n",
 		st.EntriesDegraded, st.EntriesRetried, st.DeadlineTrips, st.PanicsContained)
+	fmt.Fprintf(w, "  adaptive cost model: %d light entries, %d layers switched off\n",
+		st.AdaptiveEntriesLight, st.AdaptiveLayersOff)
+	fmt.Fprintf(w, "  layer self-time:     canon %v, cursor %v, solver %v\n",
+		time.Duration(st.CanonNanos), time.Duration(st.CursorNanos), time.Duration(st.SolverNanos))
 	fmt.Fprintf(w, "  work steals:         %d\n", st.WorkSteals)
 	fmt.Fprintf(w, "  analysis time:       %v\n", st.AnalysisTime)
 	fmt.Fprintf(w, "  validation time:     %v\n", st.ValidationTime)

@@ -16,6 +16,19 @@ package smt
 // the analysis engine prune a branch subtree without changing the validated
 // bug set: a cursor-UNSAT prefix extends only to paths whose full Table-3
 // constraint system the Stage-2 solver would also refute.
+//
+// Propagation is batched and change-driven: each stored constraint caches
+// its canonicalized form plus the event counter it was last propagated at,
+// and recheck revisits only constraints whose variables' intervals (or the
+// union-find shape) changed since. A Push that adds nothing new costs a
+// handful of integer compares instead of a full re-propagation sweep —
+// which is what keeps the DFS's per-instruction asserts (one equality per
+// arithmetic definition) from turning each path into an O(atoms²) solve.
+// The skip rule is exact, not heuristic: interval propagation is a
+// deterministic monotone function of a constraint's canonical form and its
+// variables' current intervals, so re-running it with unchanged inputs is a
+// no-op and eliding the run leaves every derived bound — and therefore
+// every Sat/Unsat answer — identical to the eager sweep.
 type Cursor struct {
 	ctx    *Context
 	parent map[int]int
@@ -26,9 +39,36 @@ type Cursor struct {
 	trail  []cundo
 	unsat  bool
 
+	// epoch is a monotone event counter bumped whenever a root's interval
+	// changes (forward or via rollback); ivMark records, per root, the epoch
+	// of its last interval change. unionEpoch bumps whenever the union-find
+	// shape changes (a union or its rollback), invalidating every cached
+	// canonical form at once — unions are rare next to interval updates, and
+	// a per-root scheme could miss cancellations (two raw variables merging
+	// into one root can erase a variable from a canonical form entirely).
+	// Marks are never rolled back: a stale-high mark only costs a no-op
+	// re-propagation, never a missed one.
+	epoch      uint64
+	unionEpoch uint64
+	ivMark     map[int]uint64
+	ineqC      []constrCache // parallel to ineqs
+	diseqC     []constrCache // parallel to diseqs
+
 	// Pushes counts Push calls; Unsats counts those answered Unsat.
 	Pushes int64
 	Unsats int64
+}
+
+// constrCache is the per-constraint incremental-recheck state: the
+// canonicalized form (raw variables rewritten through the union-find), its
+// sorted variable ids, and the epochs it was canonicalized/last processed
+// at. "Processed" means propagated for an inequality, evaluated for a
+// disequality.
+type constrCache struct {
+	canon      *lin
+	roots      []int
+	canonEpoch uint64 // unionEpoch when canon was computed
+	doneEpoch  uint64 // epoch when last propagated/evaluated
 }
 
 // CursorMark is a checkpoint into the cursor's undo trail.
@@ -59,7 +99,15 @@ func NewCursor(ctx *Context) *Cursor {
 		parent: make(map[int]int),
 		offset: make(map[int]int64),
 		ivs:    make(map[int]interval),
+		ivMark: make(map[int]uint64),
 	}
+}
+
+// NumFacts reports how many facts the cursor currently holds (stored
+// constraints, merged classes, narrowed intervals). The engine's adaptive
+// laziness consults it: a cursor with no facts cannot refute anything.
+func (c *Cursor) NumFacts() int {
+	return len(c.ineqs) + len(c.diseqs) + len(c.parent) + len(c.ivs)
 }
 
 // Checkpoint returns a mark for Rollback.
@@ -77,6 +125,8 @@ func (c *Cursor) Rollback(mark CursorMark) {
 			} else {
 				delete(c.ivs, u.x)
 			}
+			c.epoch++
+			c.ivMark[u.x] = c.epoch
 		case cuUnion:
 			delete(c.parent, u.x)
 			delete(c.offset, u.x)
@@ -90,10 +140,16 @@ func (c *Cursor) Rollback(mark CursorMark) {
 			} else {
 				delete(c.ivs, u.y)
 			}
+			c.unionEpoch++
+			c.epoch++
+			c.ivMark[u.x] = c.epoch
+			c.ivMark[u.y] = c.epoch
 		case cuIneq:
 			c.ineqs = c.ineqs[:len(c.ineqs)-1]
+			c.ineqC = c.ineqC[:len(c.ineqC)-1]
 		case cuDiseq:
 			c.diseqs = c.diseqs[:len(c.diseqs)-1]
+			c.diseqC = c.diseqC[:len(c.diseqC)-1]
 		case cuUnsat:
 			c.unsat = false
 		}
@@ -190,25 +246,35 @@ func (c *Cursor) pushEq(d *lin) {
 	}
 }
 
+// pushIneq stores the inequality, caches its canonical form, and propagates
+// it once immediately (so the same Push can already observe its bounds);
+// recheck then revisits it only when its inputs change.
 func (c *Cursor) pushIneq(l *lin) {
 	c.ineqs = append(c.ineqs, l)
 	c.trail = append(c.trail, cundo{kind: cuIneq})
-	c.propagate(l)
+	cc := constrCache{canon: c.canon(l), canonEpoch: c.unionEpoch}
+	cc.roots = cc.canon.vars()
+	cc.doneEpoch = c.epoch
+	c.ineqC = append(c.ineqC, cc)
+	c.propagateCanon(cc.canon, cc.roots)
 }
 
 func (c *Cursor) pushDiseq(l *lin) {
 	c.diseqs = append(c.diseqs, l)
 	c.trail = append(c.trail, cundo{kind: cuDiseq})
+	cc := constrCache{canon: c.canon(l), canonEpoch: c.unionEpoch}
+	cc.roots = cc.canon.vars()
+	// doneEpoch 0 forces the first evaluation in the recheck below.
+	c.diseqC = append(c.diseqC, cc)
 }
 
-// propagate applies one round of the phase-3 bound-derivation rule for a
-// single inequality sum(ci*xi) + k <= 0.
-func (c *Cursor) propagate(raw *lin) {
+// propagateCanon applies one round of the phase-3 bound-derivation rule for
+// a single already-canonicalized inequality sum(ci*xi) + k <= 0, with ids
+// holding its variables in deterministic order.
+func (c *Cursor) propagateCanon(l *lin, ids []int) {
 	if c.unsat {
 		return
 	}
-	l := c.canon(raw)
-	ids := l.vars()
 	if len(ids) == 0 {
 		if l.k > 0 {
 			c.setUnsat()
@@ -238,24 +304,64 @@ func (c *Cursor) propagate(raw *lin) {
 	}
 }
 
-// recheck runs one propagation round over all stored inequalities (so a new
-// bound flows through older constraints) and re-evaluates disequalities
-// whose variables have collapsed to singletons.
+// refreshCanon re-canonicalizes constraint cc when the union-find shape
+// changed since its cached form was computed; doneEpoch resets so the next
+// staleness check reprocesses it under the new form.
+func (c *Cursor) refreshCanon(raw *lin, cc *constrCache) {
+	if cc.canon != nil && cc.canonEpoch == c.unionEpoch {
+		return
+	}
+	cc.canon = c.canon(raw)
+	cc.roots = cc.canon.vars()
+	cc.canonEpoch = c.unionEpoch
+	cc.doneEpoch = 0
+}
+
+// stale reports whether any of the constraint's variables changed interval
+// since it was last processed.
+func (c *Cursor) stale(cc *constrCache) bool {
+	for _, r := range cc.roots {
+		if c.ivMark[r] > cc.doneEpoch {
+			return true
+		}
+	}
+	return false
+}
+
+// recheck runs one propagation round over the stored inequalities whose
+// inputs changed (so a new bound flows through older constraints) and
+// re-evaluates the disequalities whose variables have collapsed to
+// singletons. Constraints with unchanged canonical form and unchanged
+// variable intervals are skipped: reprocessing them is provably a no-op, so
+// the derived bounds — and every Sat/Unsat answer — match what an
+// unconditional sweep would produce.
 func (c *Cursor) recheck() {
 	if c.unsat {
 		return
 	}
-	for _, raw := range c.ineqs {
-		c.propagate(raw)
+	for i := range c.ineqs {
+		cc := &c.ineqC[i]
+		c.refreshCanon(c.ineqs[i], cc)
+		if !c.stale(cc) && cc.doneEpoch != 0 {
+			continue
+		}
+		cc.doneEpoch = c.epoch
+		c.propagateCanon(cc.canon, cc.roots)
 		if c.unsat {
 			return
 		}
 	}
-	for _, raw := range c.diseqs {
-		l := c.canon(raw)
+	for i := range c.diseqs {
+		cc := &c.diseqC[i]
+		c.refreshCanon(c.diseqs[i], cc)
+		if !c.stale(cc) && cc.doneEpoch != 0 {
+			continue
+		}
+		cc.doneEpoch = c.epoch
+		l := cc.canon
 		val := l.k
 		fixed := true
-		for _, id := range l.vars() {
+		for _, id := range cc.roots {
 			v, ok := c.iv(id).singleton()
 			if !ok {
 				fixed = false
@@ -304,6 +410,7 @@ func (c *Cursor) union(x, y int, d int64) {
 	off := oy + d - ox // rx = ry + off
 	c.parent[rx] = ry
 	c.offset[rx] = off
+	c.unionEpoch++
 	if u.xHad {
 		// rx = ry + off  =>  ry's interval is rx's shifted by -off.
 		delete(c.ivs, rx)
@@ -319,6 +426,8 @@ func (c *Cursor) union(x, y int, d int64) {
 			cur.hi = shifted.hi
 		}
 		c.ivs[ry] = cur
+		c.epoch++
+		c.ivMark[ry] = c.epoch
 		if cur.empty() {
 			c.setUnsat()
 		}
@@ -350,6 +459,8 @@ func (c *Cursor) intersect(x int, nv interval) {
 	}
 	c.trail = append(c.trail, cundo{kind: cuIv, x: x, xIv: cur, xHad: had})
 	c.ivs[x] = next
+	c.epoch++
+	c.ivMark[x] = c.epoch
 	if next.empty() {
 		c.setUnsat()
 	}

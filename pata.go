@@ -66,6 +66,12 @@ type Config struct {
 	// callee even when a recorded activation with the same observable state
 	// could be replayed.
 	NoSummaries bool
+	// NoAdaptive disables the per-entry adaptive cost model (default on):
+	// without it, every entry runs the full configured layer stack even
+	// when the layers' bookkeeping demonstrably costs more than the
+	// exploration they save. Reports are identical either way; only
+	// wall-clock changes.
+	NoAdaptive bool
 	// MaxCallDepth bounds interprocedural inlining (default 8).
 	MaxCallDepth int
 	// MaxPathsPerEntry bounds path enumeration per entry function
@@ -217,6 +223,7 @@ func (c Config) engineConfig() (core.Config, error) {
 		NoPrune:                 c.NoPrune,
 		NoMemo:                  c.NoMemo,
 		NoSummaries:             c.NoSummaries,
+		NoAdaptive:              c.NoAdaptive,
 		EntryTimeout:            c.EntryTimeout,
 		RunTimeout:              c.RunTimeout,
 		MaxRetries:              c.MaxRetries,
