@@ -16,6 +16,8 @@
 //	-no-memo               disable Stage-1 (block, state) memoization
 //	-no-summaries          disable Stage-1 interprocedural callee summaries
 //	-no-adaptive           disable the per-entry adaptive cost model
+//	-no-batch-validate     disable batched prefix-sharing Stage-2 validation
+//	-validate-backend B    Stage-2 solver backend: builtin, smtlib2, or smtlib2:CMD
 //	-max-conts N           callee continuations per call (P2 cap; negative = unlimited)
 //	-stats                 print engine statistics
 //	-json                  emit machine-readable JSON
@@ -53,6 +55,8 @@ func main() {
 	noMemo := flag.Bool("no-memo", false, "disable Stage-1 (block, state) subtree memoization")
 	noSummaries := flag.Bool("no-summaries", false, "disable Stage-1 interprocedural callee summaries")
 	noAdaptive := flag.Bool("no-adaptive", false, "disable the per-entry adaptive cost model (always run the full layer stack)")
+	noBatchValidate := flag.Bool("no-batch-validate", false, "disable batched prefix-sharing Stage-2 validation (solve every candidate from scratch)")
+	validateBackend := flag.String("validate-backend", "", "Stage-2 solver backend: builtin (default), smtlib2, or smtlib2:CMD ARGS to cross-check against an external SMT-LIB2 solver")
 	maxConts := flag.Int("max-conts", 0, "callee continuations per call: the P2 cap (0 = default 2, negative = unlimited)")
 	stats := flag.Bool("stats", false, "print engine statistics")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
@@ -86,6 +90,8 @@ func main() {
 		EntryTimeout:            *entryTimeout,
 		RunTimeout:              *runTimeout,
 		MaxRetries:              *maxRetries,
+		NoBatchValidate:         *noBatchValidate,
+		ValidateBackend:         *validateBackend,
 	}
 	if *checkers != "" {
 		cfg.Checkers = strings.Split(*checkers, ",")

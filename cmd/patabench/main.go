@@ -6,7 +6,9 @@
 //	patabench -exp table4|table5|table6|table7|table8|fig11|fpaudit|cases|fsm|pruning|summaries|degrade|all
 //	patabench -exp bench [-bench-out BENCH_pipeline.json]
 //	patabench -exp incremental [-incremental-out BENCH_incremental.json]
+//	patabench -exp validate [-validate-out BENCH_validate.json]
 //	patabench -exp smoke
+//	patabench -exp validate-smoke
 //
 // -cpuprofile/-memprofile write pprof profiles of the selected experiment,
 // for chasing regressions in the analysis hot loops.
@@ -26,6 +28,7 @@ func main() {
 	which := flag.String("exp", "all", "experiment: table4, table5, table6, table7, table8, fig11, fpaudit, extensions, cases, fsm, pruning, summaries, degrade, bench, incremental, or all")
 	benchOut := flag.String("bench-out", "BENCH_pipeline.json", "output path for -exp bench")
 	incOut := flag.String("incremental-out", "BENCH_incremental.json", "output path for -exp incremental")
+	valOut := flag.String("validate-out", "BENCH_validate.json", "output path for -exp validate")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	flag.Parse()
@@ -93,11 +96,23 @@ func main() {
 			fail("incremental", err)
 		}
 	}
+	if *which == "validate" {
+		if err := exp.WriteValidateJSON(os.Stdout, *valOut); err != nil {
+			fail("validate", err)
+		}
+	}
 	// smoke is the CI wall-clock gate for the adaptive cost model; it runs
 	// only when selected so -exp all stays timing-independent.
 	if *which == "smoke" {
 		if err := exp.BenchSmoke(os.Stdout); err != nil {
 			fail("smoke", err)
+		}
+	}
+	// validate-smoke is the CI gate for batched Stage-2 validation: byte-
+	// identical reports and solver time within 1.1x of per-candidate mode.
+	if *which == "validate-smoke" {
+		if err := exp.ValidateSmoke(os.Stdout); err != nil {
+			fail("validate-smoke", err)
 		}
 	}
 }

@@ -49,6 +49,10 @@ func (c Config) analysisSalt(mod *cir.Module) uint64 {
 		uint64(int64(c.LoopUnroll)))
 	h = hmix.Mix4(h, boolBit(c.NoPrune), boolBit(c.NoMemo), boolBit(c.NoSummaries))
 	h = hmix.Mix2(h, boolBit(c.Validate && c.ValidatePath != nil))
+	// The Stage-2 backend IS salted: an external solver may refute systems
+	// the builtin cannot, so verdicts persisted under one backend must not
+	// replay under another.
+	h = hmix.Mix2(h, hmix.Str(c.ValidateBackend))
 	// Fault injection perturbs exploration, so its presence is salted;
 	// EntryTimeout/RunTimeout/MaxRetries deliberately are not — degraded
 	// entries are simply never persisted, so timing knobs cannot poison
@@ -57,6 +61,9 @@ func (c Config) analysisSalt(mod *cir.Module) uint64 {
 	// adaptive cost model and the digest cache only re-schedule work, and
 	// every layer combination they select is report-preserving, so the
 	// persisted candidates are identical under every setting.
+	// NoBatchValidate is excluded for the same reason: batching only
+	// re-schedules Stage-2 solves, and batched reports are byte-identical
+	// to per-candidate ones.
 	h = hmix.Mix2(h, boolBit(c.FaultHook != nil))
 	h = hmix.Mix2(h, uint64(len(c.Checkers)))
 	for _, chk := range c.Checkers {

@@ -120,6 +120,24 @@ type Config struct {
 	// in time must return a conservative verdict (Feasible) with TimedOut
 	// set rather than block.
 	ValidatePath func(ctx context.Context, bug *PossibleBug, mode Mode) ValidationOutcome
+	// ValidateBatch, when set, validates a group of candidates from ONE
+	// entry function in a single call (installed by pathval alongside
+	// ValidatePath). The engine hands it contiguous same-entry candidate
+	// runs so a batched validator can share path-condition prefixes across
+	// the group; outcomes are positionally parallel to the input. The
+	// verdicts must be identical to calling ValidatePath per candidate —
+	// batching is a scheduling optimization, not a semantics change.
+	ValidateBatch func(ctx context.Context, bugs []*PossibleBug, mode Mode) []ValidationOutcome
+	// NoBatchValidate forces per-candidate validation even when a batch
+	// hook is installed. Scheduling-only knob: the validated bug set is
+	// identical either way (excluded from the incremental-cache salt).
+	NoBatchValidate bool
+	// ValidateBackend names the Stage-2 decision backend the installed
+	// validator uses ("" or "builtin" = in-process solver). The engine does
+	// not interpret it, but it IS part of the analysis semantics — an
+	// external solver may refute more paths — so it is salted into the
+	// incremental cache key.
+	ValidateBackend string
 	// ValidateWorkers sets how many concurrent Stage-2 validation workers
 	// RunParallel's pipelined scheduler uses (<= 0 selects GOMAXPROCS).
 	// With more than one worker the ValidatePath hook is called
@@ -174,9 +192,23 @@ type ValidationOutcome struct {
 	// feasible witness path, extracted from the solver model.
 	Trigger []string
 	// CacheHits/CacheMisses count verdict-cache lookups this validation
-	// performed (zero when the validator has no cache).
-	CacheHits   int64
-	CacheMisses int64
+	// performed (zero when the validator has no cache); CacheEvictions
+	// counts verdict-cache entries its inserts pushed out of the LRU bound.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+	// Batching counters. BatchedSolves is set when the verdict came from a
+	// shared incremental batch session (no per-candidate solve ran);
+	// BatchFallbacks when the batch screen could not refute the candidate
+	// and it fell back to a per-candidate solve. PrefixAtomsShared counts
+	// path-condition atoms this batch pushed once instead of per candidate
+	// (reported on the batch's first outcome). Disagreements counts
+	// definite-verdict conflicts between the configured backend and its
+	// cross-check solver.
+	BatchedSolves     int64
+	BatchFallbacks    int64
+	PrefixAtomsShared int64
+	Disagreements     int64
 	// TimedOut reports that a deadline or cancellation interrupted
 	// solving: the verdict is conservative (the bug is kept) and must not
 	// be persisted or memoized. Panicked reports the validator panicked
@@ -300,9 +332,24 @@ type Stats struct {
 	ConstraintsUnaware   int64
 	// ValidationCacheHits/Misses count Stage-2 verdict-cache outcomes:
 	// hits are constraint systems whose sat/unsat verdict (and model) was
-	// reused instead of re-solved.
-	ValidationCacheHits   int64
-	ValidationCacheMisses int64
+	// reused instead of re-solved. ValidationCacheEvictions counts entries
+	// the cache's LRU bound pushed out.
+	ValidationCacheHits      int64
+	ValidationCacheMisses    int64
+	ValidationCacheEvictions int64
+	// Stage-2 batching counters. BatchedSolves counts candidate verdicts
+	// answered by a shared incremental batch session (the per-candidate
+	// solver and verdict cache never ran for them); BatchFallbacks counts
+	// batch leaves that fell back to a per-candidate solve;
+	// PrefixAtomsShared counts path-condition atoms pushed once per batch
+	// instead of once per candidate. BackendDisagreements counts
+	// definite-verdict conflicts between the configured validation backend
+	// and its cross-check solver (both answers discarded for a conservative
+	// Unknown).
+	BatchedSolves        int64
+	BatchFallbacks       int64
+	PrefixAtomsShared    int64
+	BackendDisagreements int64
 	// CacheEntriesHit/CacheEntriesMiss count incremental-cache outcomes per
 	// entry function: a hit replays the entry's stored Stage-1 result (and
 	// its recorded exploration counters) without re-running the DFS;
@@ -346,6 +393,25 @@ type Stats struct {
 	SolverNanos int64
 	AnalysisTime    time.Duration
 	ValidationTime  time.Duration
+}
+
+// addValidation folds one validation outcome's counters into the stats.
+func (s *Stats) addValidation(out ValidationOutcome) {
+	s.Constraints += out.Constraints
+	s.ConstraintsUnaware += out.ConstraintsUnaware
+	s.ValidationCacheHits += out.CacheHits
+	s.ValidationCacheMisses += out.CacheMisses
+	s.ValidationCacheEvictions += out.CacheEvictions
+	s.BatchedSolves += out.BatchedSolves
+	s.BatchFallbacks += out.BatchFallbacks
+	s.PrefixAtomsShared += out.PrefixAtomsShared
+	s.BackendDisagreements += out.Disagreements
+	if out.TimedOut {
+		s.DeadlineTrips++
+	}
+	if out.Panicked {
+		s.PanicsContained++
+	}
 }
 
 // Result of a full run.
@@ -520,28 +586,34 @@ func (e *Engine) RunCtx(ctx context.Context) *Result {
 
 	res := &Result{Possible: e.possible, Incomplete: e.incomplete, Stats: e.stats}
 	vstart := time.Now()
-	for _, pb := range e.possible {
-		b := &Bug{PossibleBug: pb}
-		if e.Cfg.Validate && e.Cfg.ValidatePath != nil {
-			out := validateGuarded(ctx, e.Cfg, pb, &res.Stats.SolverNanos)
-			res.Stats.Constraints += out.Constraints
-			res.Stats.ConstraintsUnaware += out.ConstraintsUnaware
-			res.Stats.ValidationCacheHits += out.CacheHits
-			res.Stats.ValidationCacheMisses += out.CacheMisses
-			if out.TimedOut {
-				res.Stats.DeadlineTrips++
+	if e.Cfg.Validate && e.Cfg.ValidatePath != nil {
+		// Validate contiguous same-entry candidate runs as one group:
+		// candidates append per entry in entry order, so each run is exactly
+		// one entry's candidates, and the batch validator can share their
+		// path-condition prefixes. With batching off every group degenerates
+		// to per-candidate calls.
+		for start := 0; start < len(e.possible); {
+			end := start + 1
+			for end < len(e.possible) && e.possible[end].EntryFn == e.possible[start].EntryFn {
+				end++
 			}
-			if out.Panicked {
-				res.Stats.PanicsContained++
+			group := e.possible[start:end]
+			outs := validateBatchGuarded(ctx, e.Cfg, group, &res.Stats.SolverNanos)
+			for i, pb := range group {
+				out := outs[i]
+				res.Stats.addValidation(out)
+				if !out.Feasible {
+					res.Stats.FalseDropped++
+					continue
+				}
+				res.Bugs = append(res.Bugs, &Bug{PossibleBug: pb, Validated: !out.Panicked, Trigger: out.Trigger})
 			}
-			if !out.Feasible {
-				res.Stats.FalseDropped++
-				continue
-			}
-			b.Validated = !out.Panicked
-			b.Trigger = out.Trigger
+			start = end
 		}
-		res.Bugs = append(res.Bugs, b)
+	} else {
+		for _, pb := range e.possible {
+			res.Bugs = append(res.Bugs, &Bug{PossibleBug: pb})
+		}
 	}
 	res.Stats.ValidationTime = time.Since(vstart)
 	e.stats = res.Stats

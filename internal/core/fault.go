@@ -230,3 +230,45 @@ func validateGuarded(ctx context.Context, cfg Config, pb *PossibleBug, solverNan
 	}()
 	return cfg.ValidatePath(ctx, pb, cfg.Mode)
 }
+
+// validateBatchGuarded validates one entry's contiguous candidate group.
+// With a batch hook installed (and batching not disabled) the whole group
+// runs in one guarded call sharing one EntryTimeout deadline; otherwise —
+// and for singleton groups, where there is no prefix to share — it
+// degenerates to per-candidate validateGuarded calls. A panic inside the
+// batched call is contained by re-validating every candidate individually:
+// each then gets its own fence, so only the faulting candidate surfaces as
+// Panicked and its group mates keep their real verdicts.
+func validateBatchGuarded(ctx context.Context, cfg Config, pbs []*PossibleBug, solverNanos *int64) []ValidationOutcome {
+	if cfg.ValidateBatch == nil || cfg.NoBatchValidate || len(pbs) <= 1 {
+		outs := make([]ValidationOutcome, len(pbs))
+		for i, pb := range pbs {
+			outs[i] = validateGuarded(ctx, cfg, pb, solverNanos)
+		}
+		return outs
+	}
+	outs, ok := func() (outs []ValidationOutcome, ok bool) {
+		start := time.Now()
+		defer func() { atomic.AddInt64(solverNanos, int64(time.Since(start))) }()
+		bctx := ctx
+		if cfg.EntryTimeout > 0 {
+			var cancel context.CancelFunc
+			bctx, cancel = context.WithTimeout(ctx, cfg.EntryTimeout)
+			defer cancel()
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				ok = false
+			}
+		}()
+		outs = cfg.ValidateBatch(bctx, pbs, cfg.Mode)
+		return outs, len(outs) == len(pbs)
+	}()
+	if !ok {
+		outs = make([]ValidationOutcome, len(pbs))
+		for i, pb := range pbs {
+			outs[i] = validateGuarded(ctx, cfg, pb, solverNanos)
+		}
+	}
+	return outs
+}

@@ -328,16 +328,29 @@ func RunParallelCtx(ctx context.Context, mod *cir.Module, cfg Config, workers in
 	// post-merge cached pass instead.
 	validate := cfg.Validate && cfg.ValidatePath != nil
 	eager := validate && cache == nil
+	// With batching on, the merger dispatches one task per ENTRY (all its
+	// first-sighted candidates together) so the batch validator can share
+	// their path-condition prefixes in one incremental session; with
+	// batching off or absent, tasks stay per-candidate, preserving
+	// within-entry validation concurrency.
+	batching := eager && cfg.ValidateBatch != nil && !cfg.NoBatchValidate
 	var solverNanos int64 // shared by every validator goroutine below
-	vtasks := make(chan *candRec, 4*vworkers)
+	vtasks := make(chan []*candRec, 4*vworkers)
 	var wgV sync.WaitGroup
 	if eager {
 		for i := 0; i < vworkers; i++ {
 			wgV.Add(1)
 			go func() {
 				defer wgV.Done()
-				for rec := range vtasks {
-					rec.out = validateGuarded(ctx, cfg, rec.prim, &solverNanos)
+				for batch := range vtasks {
+					prims := make([]*PossibleBug, len(batch))
+					for i, rec := range batch {
+						prims[i] = rec.prim
+					}
+					outs := validateBatchGuarded(ctx, cfg, prims, &solverNanos)
+					for i, rec := range batch {
+						rec.out = outs[i]
+					}
 				}
 			}()
 		}
@@ -397,6 +410,7 @@ func RunParallelCtx(ctx context.Context, mod *cir.Module, cfg Config, workers in
 				s.AdaptiveLayersOff += r.Stats.AdaptiveLayersOff
 				s.CanonNanos += r.Stats.CanonNanos
 				s.CursorNanos += r.Stats.CursorNanos
+				var batch []*candRec
 				for _, pb := range r.Possible {
 					k := mergeKey{checker: pb.Checker.Name(), origin: pb.OriginGID, bug: pb.BugInstr.GID()}
 					if prev, dup := seen[k]; dup {
@@ -420,8 +434,19 @@ func RunParallelCtx(ctx context.Context, mod *cir.Module, cfg Config, workers in
 						prim := *pb
 						prim.AltPaths = nil
 						rec.prim = &prim
-						vtasks <- rec
+						if batching {
+							batch = append(batch, rec)
+						} else {
+							vtasks <- []*candRec{rec}
+						}
 					}
+				}
+				if len(batch) > 0 {
+					// One entry's worth of first-sighted candidates: exactly
+					// the group the sequential engine hands its batch
+					// validator, so the shared-prefix screening sees the same
+					// formulas in both schedulers.
+					vtasks <- batch
 				}
 			}
 		}
@@ -496,6 +521,8 @@ func RunParallelCtx(ctx context.Context, mod *cir.Module, cfg Config, workers in
 					rec.out.ConstraintsUnaware += out.ConstraintsUnaware
 					rec.out.CacheHits += out.CacheHits
 					rec.out.CacheMisses += out.CacheMisses
+					rec.out.CacheEvictions += out.CacheEvictions
+					rec.out.Disagreements += out.Disagreements
 					rec.out.TimedOut = rec.out.TimedOut || out.TimedOut
 					rec.out.Panicked = rec.out.Panicked || out.Panicked
 					// Trigger stays the primary path's, matching the
@@ -515,16 +542,7 @@ func RunParallelCtx(ctx context.Context, mod *cir.Module, cfg Config, workers in
 	for _, rec := range recs {
 		b := &Bug{PossibleBug: rec.pb}
 		if validate {
-			merged.Stats.Constraints += rec.out.Constraints
-			merged.Stats.ConstraintsUnaware += rec.out.ConstraintsUnaware
-			merged.Stats.ValidationCacheHits += rec.out.CacheHits
-			merged.Stats.ValidationCacheMisses += rec.out.CacheMisses
-			if rec.out.TimedOut {
-				merged.Stats.DeadlineTrips++
-			}
-			if rec.out.Panicked {
-				merged.Stats.PanicsContained++
-			}
+			merged.Stats.addValidation(rec.out)
 			if !rec.out.Feasible {
 				merged.Stats.FalseDropped++
 				continue

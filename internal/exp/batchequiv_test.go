@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/oscorpus"
+)
+
+// TestBatchedValidationEquivalence is the repo's report-identity gate for
+// batched Stage-2 validation: on every corpus (the four paper OSes plus the
+// validation-heavy workload), sequential and parallel, the batched default
+// must produce byte-identical bug reports to per-candidate solving.
+func TestBatchedValidationEquivalence(t *testing.T) {
+	corpora := append(Corpora(), oscorpus.Generate(oscorpus.ValidationHeavySpec()))
+	for _, c := range corpora {
+		for _, workers := range []int{1, 4} {
+			var reports [2]interface{}
+			for vi, variant := range []string{"batched", "per-candidate"} {
+				cfg := PATAConfig()
+				if workers == 1 {
+					cfg.ValidateWorkers = 1
+				} else {
+					cfg.ValidateWorkers = 2
+				}
+				if variant == "per-candidate" {
+					cfg.NoBatchValidate = true
+				}
+				// One tool name for both variants: it is embedded in every
+				// report, and the comparison below is byte-exact.
+				r, err := RunPATAPipelined(c, cfg, "equiv", workers)
+				if err != nil {
+					t.Fatalf("%s workers=%d %s: %v", c.Spec.Name, workers, variant, err)
+				}
+				if len(r.Reports) == 0 {
+					t.Fatalf("%s workers=%d %s: no bug reports — corpus not exercising validation", c.Spec.Name, workers, variant)
+				}
+				reports[vi] = r.Reports
+				if variant == "batched" && workers == 1 && c.Spec.Name == "validate-heavy" && r.Stats.BatchedSolves == 0 {
+					t.Error("validate-heavy produced no screened solves; the batch planner is not engaging")
+				}
+			}
+			if !reflect.DeepEqual(reports[0], reports[1]) {
+				t.Errorf("%s workers=%d: batched and per-candidate bug reports differ", c.Spec.Name, workers)
+			}
+		}
+	}
+}
+
+// TestBatchedValidationRaceStress drives the parallel engine's validator
+// pool with batching on; its assertions are weak on purpose — the test's
+// value is under `go test -race`, where it exercises the batch dispatch,
+// the shared verdict cache, and the stats merge concurrently.
+func TestBatchedValidationRaceStress(t *testing.T) {
+	c := oscorpus.Generate(oscorpus.ValidationHeavySpec())
+	rounds := 3
+	if testing.Short() {
+		rounds = 1
+	}
+	for i := 0; i < rounds; i++ {
+		cfg := PATAConfig()
+		cfg.ValidateWorkers = 4
+		r, err := RunPATAPipelined(c, cfg, "race-stress", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Reports) == 0 {
+			t.Fatal("no reports from stress run")
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+
+	"repro/internal/core"
+	"repro/internal/oscorpus"
+)
+
+// validateVariants are the two Stage-2 scheduling modes the validation bench
+// compares. "batched" is the shipped default: same-entry candidates solve in
+// one prefix-sharing incremental session. "per-candidate" forces every
+// candidate through its own full solve (NoBatchValidate). Bug reports are
+// byte-identical between the two by construction — the bench asserts it on
+// every run, so a divergence fails the experiment rather than skewing it.
+var validateVariants = []string{"batched", "per-candidate"}
+
+func validateConfig(variant string) core.Config {
+	cfg := PATAConfig()
+	// ValidateWorkers=1 keeps workers=1 runs on the sequential engine
+	// (RunParallelCtx's equivalence fallback), where Stage-2 solver
+	// self-time is cleanly attributable to the scheduling mode.
+	cfg.ValidateWorkers = 1
+	if variant == "per-candidate" {
+		cfg.NoBatchValidate = true
+	}
+	return cfg
+}
+
+// ValidateEntry is one cell of the validation benchmark grid: one corpus,
+// one Stage-2 scheduling mode, at Stage-1 workers=1 (the sequential engine,
+// where solver self-time is cleanly attributable). SolverMS is the best over
+// the row's interleaved rounds; counters come from the last run.
+type ValidateEntry struct {
+	OS                string  `json:"os"`
+	Variant           string  `json:"variant"`
+	SolverMS          float64 `json:"solver_ms"`
+	WallClockMS       float64 `json:"wall_clock_ms"`
+	BatchedSolves     int64   `json:"batched_solves"`
+	BatchFallbacks    int64   `json:"batch_fallbacks"`
+	PrefixAtomsShared int64   `json:"prefix_atoms_shared"`
+	CacheHits         int64   `json:"validation_cache_hits"`
+	CacheMisses       int64   `json:"validation_cache_misses"`
+	Bugs              int     `json:"bugs"`
+}
+
+// ValidateReport is the schema of BENCH_validate.json: the per-corpus grid
+// plus the headline Stage-2 solver-time reduction batching buys on the
+// validate-heavy corpus. Solver-time values are machine-dependent; the
+// batching counters are deterministic.
+type ValidateReport struct {
+	Workload string          `json:"workload"`
+	Entries  []ValidateEntry `json:"entries"`
+	// SolverReductionPct is the Stage-2 solver self-time the batched
+	// default saves over per-candidate solving on the validate-heavy
+	// corpus at workers=1 (best-of interleaved rounds).
+	SolverReductionPct float64 `json:"solver_reduction_pct"`
+	// WorstRatio is max over corpora of batched solver time divided by
+	// per-candidate solver time — ≤ 1.0 means batching never loses.
+	WorstRatio float64 `json:"worst_ratio"`
+}
+
+// validateRow runs one corpus at workers=1 under both scheduling modes,
+// interleaved round-robin — with the order flipped every round so neither
+// variant systematically pays cold-process warmup — so machine-load drift
+// hits both equally. It asserts the two modes' bug reports are identical
+// before reporting timing.
+func validateRow(c *oscorpus.Corpus) (map[string]ValidateEntry, error) {
+	bestSolver := map[string]float64{}
+	bestWall := map[string]float64{}
+	runs := map[string]*ToolRun{}
+	flipped := []string{validateVariants[1], validateVariants[0]}
+	total := 0.0
+	for round := 0; round < 15 && (round < 3 || total < 750); round++ {
+		order := validateVariants
+		if round%2 == 1 {
+			order = flipped
+		}
+		for _, variant := range order {
+			r, err := RunPATAPipelined(c, validateConfig(variant), "pata-valbench", 1)
+			if err != nil {
+				return nil, err
+			}
+			solverMS := float64(r.Stats.SolverNanos) / 1e6
+			wallMS := float64(r.Elapsed.Microseconds()) / 1000
+			total += wallMS
+			if cur, ok := bestSolver[variant]; !ok || solverMS < cur {
+				bestSolver[variant] = solverMS
+			}
+			if cur, ok := bestWall[variant]; !ok || wallMS < cur {
+				bestWall[variant] = wallMS
+			}
+			runs[variant] = r
+		}
+	}
+	if !reflect.DeepEqual(runs["batched"].Reports, runs["per-candidate"].Reports) {
+		return nil, fmt.Errorf("%s: batched and per-candidate bug reports differ", c.Spec.Name)
+	}
+	cell := map[string]ValidateEntry{}
+	for _, variant := range validateVariants {
+		run := runs[variant]
+		cell[variant] = ValidateEntry{
+			OS:                c.Spec.Name,
+			Variant:           variant,
+			SolverMS:          bestSolver[variant],
+			WallClockMS:       bestWall[variant],
+			BatchedSolves:     run.Stats.BatchedSolves,
+			BatchFallbacks:    run.Stats.BatchFallbacks,
+			PrefixAtomsShared: run.Stats.PrefixAtomsShared,
+			CacheHits:         run.Stats.ValidationCacheHits,
+			CacheMisses:       run.Stats.ValidationCacheMisses,
+			Bugs:              len(run.Reports),
+		}
+	}
+	return cell, nil
+}
+
+// ValidateBench runs the Stage-2 validation benchmark over every corpus —
+// the four paper OSes plus the validate-heavy Stage-2 workload — comparing
+// batched prefix-sharing validation against per-candidate solving at
+// workers=1. Reports are asserted identical; only solver scheduling differs.
+func ValidateBench(w io.Writer) (*ValidateReport, error) {
+	rep := &ValidateReport{Workload: "oscorpus+validate-heavy"}
+	corpora := append(Corpora(), oscorpus.Generate(oscorpus.ValidationHeavySpec()))
+	for _, c := range corpora {
+		cell, err := validateRow(c)
+		if err != nil {
+			return nil, err
+		}
+		for _, variant := range validateVariants {
+			rep.Entries = append(rep.Entries, cell[variant])
+		}
+		b, p := cell["batched"].SolverMS, cell["per-candidate"].SolverMS
+		if p > 0 {
+			if r := b / p; r > rep.WorstRatio {
+				rep.WorstRatio = r
+			}
+		}
+		if c.Spec.Name == "validate-heavy" && p > 0 {
+			rep.SolverReductionPct = 100 * (p - b) / p
+		}
+		if w != nil {
+			fmt.Fprintf(w, "validate bench %-16s batched %8.2fms  per-candidate %8.2fms  (screened %d, fallbacks %d, prefix atoms shared %d)\n",
+				c.Spec.Name, b, p,
+				cell["batched"].BatchedSolves, cell["batched"].BatchFallbacks, cell["batched"].PrefixAtomsShared)
+		}
+	}
+	if w != nil {
+		fmt.Fprintf(w, "validate bench: batching saves %.1f%% Stage-2 solver time on validate-heavy (workers=1); worst corpus ratio %.2fx\n",
+			rep.SolverReductionPct, rep.WorstRatio)
+	}
+	return rep, nil
+}
+
+// validateSmokeSlackMS is the absolute jitter allowance of the smoke gate.
+// The paper-OS corpora finish Stage-2 in a few hundred microseconds to a
+// couple of milliseconds, where scheduler noise between two interleaved
+// runs routinely exceeds 10% of the measurement; a real batching regression
+// is proportional to solve volume and still trips the 1.1x ratio where it
+// matters (the validate-heavy corpus, an order of magnitude larger).
+const validateSmokeSlackMS = 0.3
+
+// ValidateSmoke is the CI regression gate for batched validation: on every
+// corpus at workers=1 the batched default's Stage-2 solver self-time must
+// stay within 10% (plus a sub-millisecond jitter allowance) of per-candidate
+// solving, and the two modes' bug reports must match exactly. The timing is
+// interleaved best-of-9 after a discarded warmup round, with the variant
+// order flipped every round: on the paper-OS corpora Stage-2 runs in a
+// couple of milliseconds, so whichever variant runs first in a cold process
+// would otherwise eat the warmup cost systematically.
+func ValidateSmoke(w io.Writer) error {
+	corpora := append(Corpora(), oscorpus.Generate(oscorpus.ValidationHeavySpec()))
+	flipped := []string{validateVariants[1], validateVariants[0]}
+	for _, c := range corpora {
+		best := map[string]float64{}
+		runs := map[string]*ToolRun{}
+		for i := 0; i < 10; i++ {
+			order := validateVariants
+			if i%2 == 1 {
+				order = flipped
+			}
+			for _, variant := range order {
+				r, err := RunPATAPipelined(c, validateConfig(variant), "pata-valsmoke", 1)
+				if err != nil {
+					return err
+				}
+				if i == 0 {
+					continue // warmup round: run both variants, record neither
+				}
+				ms := float64(r.Stats.SolverNanos) / 1e6
+				if cur, ok := best[variant]; !ok || ms < cur {
+					best[variant] = ms
+				}
+				runs[variant] = r
+			}
+		}
+		if !reflect.DeepEqual(runs["batched"].Reports, runs["per-candidate"].Reports) {
+			return fmt.Errorf("%s: batched and per-candidate bug reports differ", c.Spec.Name)
+		}
+		if w != nil {
+			fmt.Fprintf(w, "validate smoke (%s, workers=1): batched %.2fms, per-candidate %.2fms\n",
+				c.Spec.Name, best["batched"], best["per-candidate"])
+		}
+		if p := best["per-candidate"]; p > 0 && best["batched"] > 1.1*p+validateSmokeSlackMS {
+			return fmt.Errorf("%s: batched validation regressed: %.2fms vs per-candidate %.2fms (>1.1x + %.1fms jitter allowance)",
+				c.Spec.Name, best["batched"], p, validateSmokeSlackMS)
+		}
+	}
+	return nil
+}
+
+// WriteValidateJSON runs ValidateBench and writes the report to path
+// (conventionally BENCH_validate.json at the repo root).
+func WriteValidateJSON(w io.Writer, path string) error {
+	rep, err := ValidateBench(w)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if w != nil {
+		fmt.Fprintf(w, "wrote %s (%d entries)\n", path, len(rep.Entries))
+	}
+	return nil
+}

@@ -19,6 +19,11 @@ type CatSpec struct {
 	// the shape interprocedural summaries collapse. Zero everywhere except
 	// the dedicated helper-heavy spec, so existing corpora are unchanged.
 	Helpers int
+	// Validation counts validation-heavy clusters (see validationShapes):
+	// entries whose same-entry candidates share long path-condition
+	// prefixes, the shape batched Stage-2 validation collapses. Zero
+	// everywhere except the dedicated validate-heavy spec.
+	Validation int
 	// Bugs seeded per type.
 	Bugs map[typestate.BugType]int
 	// Traps seeded per mechanism (see Trap.Mechanism).
@@ -158,6 +163,20 @@ func Generate(spec OSSpec) *Corpus {
 			shape := helperShapes[i%len(helperShapes)]
 			jobs = append(jobs, func() {
 				shape(newCtx(pick()))
+			})
+		}
+		for i := 0; i < cat.Validation; i++ {
+			shape := validationShapes[i%len(validationShapes)]
+			jobs = append(jobs, func() {
+				gs, ts := shape(newCtx(pick()))
+				for _, g := range gs {
+					g.ID = fmt.Sprintf("%s-%s-%d", osTag, g.Type, len(c.Truth))
+					c.Truth = append(c.Truth, g)
+				}
+				for _, tr := range ts {
+					tr.ID = fmt.Sprintf("%s-trap-%d", osTag, len(c.Traps))
+					c.Traps = append(c.Traps, tr)
+				}
 			})
 		}
 		rng.Shuffle(len(jobs), func(i, j int) { jobs[i], jobs[j] = jobs[j], jobs[i] })

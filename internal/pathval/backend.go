@@ -1,0 +1,121 @@
+package pathval
+
+import (
+	"fmt"
+	"os/exec"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/smt"
+)
+
+// Backend decides one path-constraint system. The validator routes every
+// final (non-screened) solve through its backend, so swapping the decision
+// procedure never touches the replay, caching, or verdict plumbing.
+//
+// The soundness contract matches the engine's: Unsat must be definitive
+// (it drops a bug report); Sat and Unknown both keep the bug. A backend
+// that is unsure must answer Unknown, never Unsat. The interrupted result
+// reports that the answer is a timing artifact of deadline/done and must
+// not be memoized; disagreed reports a definite-verdict conflict between
+// this backend and its cross-check (always false for single backends).
+type Backend interface {
+	Name() string
+	Solve(ctx *smt.Context, f smt.Formula, deadline time.Time, done <-chan struct{}) (res smt.Result, model smt.Model, interrupted, disagreed bool)
+}
+
+// builtinBackend is backend (a): the in-process SMT-lite solver.
+type builtinBackend struct{}
+
+func (builtinBackend) Name() string { return "builtin" }
+
+func (builtinBackend) Solve(ctx *smt.Context, f smt.Formula, deadline time.Time, done <-chan struct{}) (smt.Result, smt.Model, bool, bool) {
+	s := smt.NewSolver(ctx)
+	s.Deadline = deadline
+	s.Done = done
+	res, model := s.SolveWithModel(f)
+	return res, model, s.Interrupted, false
+}
+
+// SMTLIBBackend is backend (b): it renders each constraint system as a
+// deterministic SMT-LIB2 script (smt.ToSMTLIB2) and hands it to Runner —
+// typically an external `z3 -in`/`cvc5` process, or a recorded-answer map in
+// tests. The built-in solver always runs too: it supplies the witness model
+// (external solvers' models are not parsed) and cross-checks the external
+// verdict. When both give definite answers that conflict, the backend counts
+// a disagreement and answers Unknown, which conservatively keeps the bug.
+// When the runner is absent, fails, or answers unknown, the built-in verdict
+// stands alone and no disagreement is recorded.
+type SMTLIBBackend struct {
+	// Runner executes one SMT-LIB2 script and returns the solver's stdout
+	// (first token sat/unsat/unknown). Nil means emit-only: scripts are
+	// still rendered (so emission stays on the hot path and tested) but the
+	// built-in verdict decides.
+	Runner func(script string) (string, error)
+	// Disagreements counts definite-verdict conflicts, read atomically.
+	Disagreements int64
+}
+
+func (b *SMTLIBBackend) Name() string { return "smtlib2" }
+
+func (b *SMTLIBBackend) Solve(ctx *smt.Context, f smt.Formula, deadline time.Time, done <-chan struct{}) (smt.Result, smt.Model, bool, bool) {
+	script := smt.ToSMTLIB2(f)
+	res, model, interrupted, _ := builtinBackend{}.Solve(ctx, f, deadline, done)
+	if b.Runner == nil || interrupted {
+		return res, model, interrupted, false
+	}
+	out, err := b.Runner(script)
+	if err != nil {
+		return res, model, interrupted, false
+	}
+	ext := parseSMTLIBVerdict(out)
+	if ext == smt.Unknown || ext == res {
+		return res, model, interrupted, false
+	}
+	if res == smt.Unknown {
+		// The built-in solver proved nothing; a definite external Unsat is
+		// still only advisory (we cannot audit it against the subset
+		// procedure), so keep the conservative Unknown without a conflict.
+		return res, model, interrupted, false
+	}
+	// Both definite and conflicting: trust neither.
+	atomic.AddInt64(&b.Disagreements, 1)
+	return smt.Unknown, nil, false, true
+}
+
+// parseSMTLIBVerdict maps a solver's stdout to a Result by its first token.
+func parseSMTLIBVerdict(out string) smt.Result {
+	switch strings.TrimSpace(strings.SplitN(strings.TrimSpace(out), "\n", 2)[0]) {
+	case "unsat":
+		return smt.Unsat
+	case "sat":
+		return smt.Sat
+	}
+	return smt.Unknown
+}
+
+// BackendFromSpec builds a backend from a CLI spec: "" or "builtin" selects
+// the in-process solver; "smtlib2" selects the emitter with no external
+// runner; "smtlib2:CMD ARGS..." drives an external solver process that reads
+// one script on stdin and prints its verdict (e.g. "smtlib2:z3 -in").
+func BackendFromSpec(spec string) (Backend, error) {
+	switch {
+	case spec == "" || spec == "builtin":
+		return builtinBackend{}, nil
+	case spec == "smtlib2":
+		return &SMTLIBBackend{}, nil
+	case strings.HasPrefix(spec, "smtlib2:"):
+		argv := strings.Fields(strings.TrimPrefix(spec, "smtlib2:"))
+		if len(argv) == 0 {
+			return nil, fmt.Errorf("pathval: empty smtlib2 command in %q", spec)
+		}
+		return &SMTLIBBackend{Runner: func(script string) (string, error) {
+			cmd := exec.Command(argv[0], argv[1:]...)
+			cmd.Stdin = strings.NewReader(script)
+			out, err := cmd.Output()
+			return string(out), err
+		}}, nil
+	}
+	return nil, fmt.Errorf("pathval: unknown validate backend %q (want builtin or smtlib2[:CMD])", spec)
+}

@@ -1,0 +1,142 @@
+package pathval
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/smt"
+)
+
+func unsatFormula(ctx *smt.Context) smt.Formula {
+	x := ctx.Var("x")
+	return smt.And(smt.Eq(x, smt.Int(1)), smt.Eq(x, smt.Int(2)))
+}
+
+func TestBackendFromSpec(t *testing.T) {
+	for _, spec := range []string{"", "builtin"} {
+		be, err := BackendFromSpec(spec)
+		if err != nil {
+			t.Fatalf("spec %q: %v", spec, err)
+		}
+		if be.Name() != "builtin" {
+			t.Errorf("spec %q: backend %q, want builtin", spec, be.Name())
+		}
+	}
+	be, err := BackendFromSpec("smtlib2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, ok := be.(*SMTLIBBackend)
+	if !ok || sb.Runner != nil {
+		t.Errorf("spec smtlib2: want emit-only SMTLIBBackend, got %T with runner=%v", be, sb != nil && sb.Runner != nil)
+	}
+	be, err = BackendFromSpec("smtlib2:true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb, ok := be.(*SMTLIBBackend); !ok || sb.Runner == nil {
+		t.Error("spec smtlib2:CMD must install a process runner")
+	}
+	for _, bad := range []string{"smtlib2:", "smtlib2:   ", "z9", "cvc5"} {
+		if _, err := BackendFromSpec(bad); err == nil {
+			t.Errorf("spec %q: want error", bad)
+		}
+	}
+}
+
+// TestSMTLIBBackendRecordedReplay drives the smtlib2 backend from recorded
+// answers keyed by the emitted script — the stand-in for an external solver
+// in environments where none can be installed.
+func TestSMTLIBBackendRecordedReplay(t *testing.T) {
+	ctx := smt.NewContext()
+	f := unsatFormula(ctx)
+	script := smt.ToSMTLIB2(f)
+	if !strings.Contains(script, "(check-sat)") {
+		t.Fatalf("emitted script lacks (check-sat):\n%s", script)
+	}
+	recorded := map[string]string{script: "unsat"}
+	var got []string
+	be := &SMTLIBBackend{Runner: func(s string) (string, error) {
+		got = append(got, s)
+		ans, ok := recorded[s]
+		if !ok {
+			t.Fatalf("no recorded answer for script:\n%s", s)
+		}
+		return ans, nil
+	}}
+	res, _, interrupted, disagreed := be.Solve(ctx, f, time.Time{}, nil)
+	if res != smt.Unsat || interrupted || disagreed {
+		t.Errorf("agreeing unsat replay: res=%v interrupted=%v disagreed=%v", res, interrupted, disagreed)
+	}
+	if len(got) != 1 || got[0] != script {
+		t.Error("runner did not receive the deterministic script")
+	}
+	if be.Disagreements != 0 {
+		t.Errorf("agreement counted as disagreement: %d", be.Disagreements)
+	}
+}
+
+func TestSMTLIBBackendDisagreementKeepsBug(t *testing.T) {
+	ctx := smt.NewContext()
+	f := unsatFormula(ctx) // builtin proves Unsat
+	be := &SMTLIBBackend{Runner: func(string) (string, error) { return "sat", nil }}
+	res, model, _, disagreed := be.Solve(ctx, f, time.Time{}, nil)
+	if !disagreed || be.Disagreements != 1 {
+		t.Errorf("conflicting definite verdicts must count a disagreement (disagreed=%v n=%d)", disagreed, be.Disagreements)
+	}
+	if res != smt.Unknown || model != nil {
+		t.Errorf("disagreement must answer Unknown with no model, got %v %v", res, model)
+	}
+	if !FeasibleVerdict(res) {
+		t.Error("a disagreement verdict must keep the bug")
+	}
+}
+
+func TestSMTLIBBackendRunnerFailureFallsBack(t *testing.T) {
+	ctx := smt.NewContext()
+	f := unsatFormula(ctx)
+	// A runner error must leave the builtin verdict standing.
+	calls := 0
+	be := &SMTLIBBackend{Runner: func(string) (string, error) { calls++; return "", errFake{} }}
+	res, _, _, disagreed := be.Solve(ctx, f, time.Time{}, nil)
+	if res != smt.Unsat || disagreed || be.Disagreements != 0 {
+		t.Errorf("runner failure: res=%v disagreed=%v n=%d, want builtin unsat", res, disagreed, be.Disagreements)
+	}
+	if calls == 0 {
+		t.Error("runner was never invoked")
+	}
+	// So must an external "unknown".
+	be.Runner = func(string) (string, error) { return "unknown", nil }
+	if res, _, _, _ := be.Solve(ctx, f, time.Time{}, nil); res != smt.Unsat {
+		t.Errorf("external unknown: res=%v, want builtin unsat", res)
+	}
+}
+
+type errFake struct{}
+
+func (errFake) Error() string { return "fake solver failure" }
+
+// TestBackendDisagreementsFlowToStats checks the full plumbing: a validator
+// whose backend disagrees reports the count through ValidationOutcome.
+func TestBackendDisagreementsFlowToStats(t *testing.T) {
+	cands, v := analyze(t, infeasibleSrc, core.ModePATA)
+	var target *core.PossibleBug
+	for _, pb := range cands {
+		if pb.BugInstr.Position().Line == 10 {
+			target = pb
+		}
+	}
+	if target == nil {
+		t.Fatal("no candidate")
+	}
+	v.Backend = &SMTLIBBackend{Runner: func(string) (string, error) { return "sat", nil }}
+	out := v.Validate(target, core.ModePATA)
+	if !out.Feasible {
+		t.Error("disagreement must conservatively keep the bug")
+	}
+	if out.Disagreements == 0 {
+		t.Error("outcome did not carry the disagreement count")
+	}
+}

@@ -10,6 +10,7 @@
 package pathval
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"sort"
@@ -22,6 +23,14 @@ import (
 	"repro/internal/cir"
 	"repro/internal/core"
 	"repro/internal/smt"
+)
+
+// Default verdict-cache bounds: enough for every corpus in the repo to run
+// without a single eviction, small enough that a long residency (a future
+// daemon revalidating forever) cannot grow without limit.
+const (
+	defaultMaxCacheEntries = 4096
+	defaultMaxCacheBytes   = 4 << 20
 )
 
 // Validator validates candidate bug paths. Safe for reuse across bugs and
@@ -37,12 +46,37 @@ type Validator struct {
 	Unknown int64
 	// CacheHits/CacheMisses count verdict-cache outcomes: a hit reuses the
 	// sat/unsat verdict and model of a previously solved, structurally
-	// identical constraint system.
-	CacheHits   int64
-	CacheMisses int64
+	// identical constraint system. CacheEvictions counts entries the LRU
+	// bound pushed out.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
 
-	mu    sync.Mutex
-	cache map[string]*verdict
+	// Backend decides final (non-screened) solves; nil means the built-in
+	// solver. Set before the first validation (typically right after New).
+	Backend Backend
+
+	// MaxCacheEntries/MaxCacheBytes bound the verdict cache; New sets the
+	// defaults above, and zero or negative values mean unbounded.
+	MaxCacheEntries int
+	MaxCacheBytes   int64
+
+	mu         sync.Mutex
+	cache      map[string]*list.Element // key → element holding *centry
+	lru        *list.List               // front = most recently used
+	cacheBytes int64
+
+	// screenHook, when non-nil, runs before each batch-screen push with the
+	// number of pushes made so far; tests use it to cancel mid-screen.
+	screenHook func(pushes int)
+}
+
+// centry is one verdict-cache slot: the key it is filed under (needed to
+// unlink on eviction) plus the memoized answer.
+type centry struct {
+	key   string
+	bytes int64
+	v     *verdict
 }
 
 // verdict is one memoized solver answer. The first goroutine to need a key
@@ -54,53 +88,123 @@ type verdict struct {
 	model smt.Model
 }
 
-// New returns a Validator.
-func New() *Validator { return &Validator{cache: make(map[string]*verdict)} }
+// New returns a Validator with the default cache bounds and the built-in
+// solver backend.
+func New() *Validator {
+	return &Validator{
+		MaxCacheEntries: defaultMaxCacheEntries,
+		MaxCacheBytes:   defaultMaxCacheBytes,
+		cache:           make(map[string]*list.Element),
+		lru:             list.New(),
+	}
+}
 
-// solveCached decides f, memoizing by the canonical structural key of the
-// constraint system (smt.Formula.Key hash-conses the conjunction): candidate
-// paths sharing the same constraints — common for bugs on shared path
-// prefixes and for AltPath re-validations — skip the solver entirely. The
-// replay that produced f is deterministic, so a cached model assigns the
-// same variable IDs a cold solve would and the trigger values come out
-// identical. Returns whether the verdict came from the cache and whether
-// the solve was interrupted by deadline/done. An interrupted Unknown is a
-// timing artifact, so it is evicted from the cache before waiters are
+// solveCached decides f through the validator's backend, memoizing by the
+// canonical structural key of the constraint system (smt.Formula.Key
+// hash-conses the conjunction): candidate paths sharing the same constraints
+// — common for bugs on shared path prefixes and for AltPath re-validations —
+// skip the solver entirely. The replay that produced f is deterministic, so
+// a cached model assigns the same variable IDs a cold solve would and the
+// trigger values come out identical. Returns whether the verdict came from
+// the cache, whether the solve was interrupted by deadline/done, and the
+// eviction/disagreement deltas this call produced. An interrupted Unknown is
+// a timing artifact, so it is evicted from the cache before waiters are
 // released; concurrent waiters of that entry still observe the conservative
 // Unknown (without the interrupted flag), which only ever keeps a bug.
-func (v *Validator) solveCached(ctx *smt.Context, f smt.Formula, deadline time.Time, done <-chan struct{}) (smt.Result, smt.Model, bool, bool) {
+//
+// The cache is LRU-bounded by MaxCacheEntries/MaxCacheBytes. Eviction only
+// forgets verdicts — a later identical formula re-solves and re-caches — so
+// hit/miss semantics are unchanged apart from the extra misses; in-flight
+// entries (singleflight waiters pending) are never evicted.
+func (v *Validator) solveCached(ctx *smt.Context, f smt.Formula, deadline time.Time, done <-chan struct{}) (res smt.Result, model smt.Model, hit, interrupted bool, evictions, disagreements int64) {
 	key := f.Key()
 	v.mu.Lock()
 	if v.cache == nil {
-		v.cache = make(map[string]*verdict)
+		v.cache = make(map[string]*list.Element)
+		v.lru = list.New()
 	}
-	if e, ok := v.cache[key]; ok {
+	if elem, ok := v.cache[key]; ok {
+		v.lru.MoveToFront(elem)
+		e := elem.Value.(*centry).v
 		v.mu.Unlock()
 		<-e.ready
 		atomic.AddInt64(&v.CacheHits, 1)
-		return e.res, e.model, true, false
+		return e.res, e.model, true, false, 0, 0
 	}
 	e := &verdict{ready: make(chan struct{})}
-	v.cache[key] = e
+	ent := &centry{key: key, bytes: int64(len(key)) + 64, v: e}
+	elem := v.lru.PushFront(ent)
+	v.cache[key] = elem
+	v.cacheBytes += ent.bytes
+	evictions = v.evictLocked()
 	v.mu.Unlock()
-	s := smt.NewSolver(ctx)
-	s.Deadline = deadline
-	s.Done = done
-	e.res, e.model = s.SolveWithModel(f)
-	if s.Interrupted {
-		v.mu.Lock()
-		delete(v.cache, key)
-		v.mu.Unlock()
+
+	be := v.Backend
+	if be == nil {
+		be = builtinBackend{}
 	}
+	var disagreed bool
+	e.res, e.model, interrupted, disagreed = be.Solve(ctx, f, deadline, done)
+	if disagreed {
+		disagreements = 1
+	}
+	v.mu.Lock()
+	if interrupted {
+		// Drop the timing artifact before releasing waiters.
+		v.removeLocked(elem)
+	} else if n := int64(len(e.model)) * 24; n > 0 {
+		ent.bytes += n
+		v.cacheBytes += n
+		evictions += v.evictLocked()
+	}
+	v.mu.Unlock()
 	close(e.ready)
 	atomic.AddInt64(&v.CacheMisses, 1)
-	return e.res, e.model, false, s.Interrupted
+	atomic.AddInt64(&v.CacheEvictions, evictions)
+	return e.res, e.model, false, interrupted, evictions, disagreements
 }
 
-// Install wires the validator into an engine config.
+// evictLocked drops least-recently-used ready entries until the cache fits
+// its bounds again, returning how many it dropped. Callers hold v.mu.
+func (v *Validator) evictLocked() int64 {
+	var n int64
+	over := func() bool {
+		return (v.MaxCacheEntries > 0 && v.lru.Len() > v.MaxCacheEntries) ||
+			(v.MaxCacheBytes > 0 && v.cacheBytes > v.MaxCacheBytes)
+	}
+	for elem := v.lru.Back(); elem != nil && over(); {
+		prev := elem.Prev()
+		ent := elem.Value.(*centry)
+		select {
+		case <-ent.v.ready:
+			v.removeLocked(elem)
+			n++
+		default:
+			// In-flight: a waiter is counting on this exact entry's
+			// singleflight; skip it and try the next-oldest.
+		}
+		elem = prev
+	}
+	return n
+}
+
+// removeLocked unlinks one cache entry. Callers hold v.mu.
+func (v *Validator) removeLocked(elem *list.Element) {
+	ent := elem.Value.(*centry)
+	if _, ok := v.cache[ent.key]; ok && v.cache[ent.key] == elem {
+		delete(v.cache, ent.key)
+	}
+	v.lru.Remove(elem)
+	v.cacheBytes -= ent.bytes
+}
+
+// Install wires the validator into an engine config: the per-candidate
+// entry point plus the batched group entry point (which the engine uses for
+// same-entry candidate groups unless Config.NoBatchValidate is set).
 func (v *Validator) Install(cfg *core.Config) {
 	cfg.Validate = true
 	cfg.ValidatePath = v.ValidateCtx
+	cfg.ValidateBatch = v.ValidateBatchCtx
 }
 
 // Validate decides a candidate bug's feasibility with no deadline. It is
@@ -143,9 +247,11 @@ func (v *Validator) ValidateCtx(ctx context.Context, bug *core.PossibleBug, mode
 // asymmetry from the other side: it skips a branch only on Unsat.
 func FeasibleVerdict(res smt.Result) bool { return res != smt.Unsat }
 
-func (v *Validator) validateOne(ctx context.Context, bug *core.PossibleBug, path []core.PathStep, mode core.Mode) core.ValidationOutcome {
-	atomic.AddInt64(&v.Queries, 1)
-	r := &replayer{
+// newReplayer returns a fresh replay state: its own alias graph and term
+// context, so identical path-step prefixes deterministically produce
+// identical atoms with identical variable IDs.
+func newReplayer(mode core.Mode) *replayer {
+	return &replayer{
 		mode:  mode,
 		g:     aliasgraph.New(),
 		ctx:   smt.NewContext(),
@@ -153,9 +259,21 @@ func (v *Validator) validateOne(ctx context.Context, bug *core.PossibleBug, path
 		slot:  make(map[cir.Value]*smt.Var),
 		execs: make(map[int]int),
 	}
+}
+
+func (v *Validator) validateOne(ctx context.Context, bug *core.PossibleBug, path []core.PathStep, mode core.Mode) core.ValidationOutcome {
+	r := newReplayer(mode)
 	r.replay(bug, path)
+	return v.solveReplayed(ctx, r)
+}
+
+// solveReplayed runs the cached/backed solve over an already-replayed path
+// and assembles the outcome. The batch planner calls it directly for
+// fallback leaves so a fallback does not replay the path a second time.
+func (v *Validator) solveReplayed(ctx context.Context, r *replayer) core.ValidationOutcome {
+	atomic.AddInt64(&v.Queries, 1)
 	deadline, _ := ctx.Deadline()
-	res, model, hit, interrupted := v.solveCached(r.ctx, smt.And(r.atoms...), deadline, ctx.Done())
+	res, model, hit, interrupted, evictions, disagreements := v.solveCached(r.ctx, smt.And(r.atoms...), deadline, ctx.Done())
 	switch res {
 	case smt.Unsat:
 		atomic.AddInt64(&v.Unsat, 1)
@@ -170,6 +288,8 @@ func (v *Validator) validateOne(ctx context.Context, bug *core.PossibleBug, path
 		ConstraintsUnaware: r.unaware,
 		Trigger:            r.triggerValues(model),
 		TimedOut:           interrupted,
+		CacheEvictions:     evictions,
+		Disagreements:      disagreements,
 	}
 	if hit {
 		out.CacheHits = 1
@@ -237,6 +357,89 @@ type replayer struct {
 	unaware int64
 	frames  []*cir.Call
 	execs   map[int]int // per-instruction execution count on this path
+
+	// Undo logs for checkpoint/rollback: the batched validator replays the
+	// shared prefix of a candidate group once and rolls the replayer back
+	// between sibling suffixes. Each log records the mutations the maps
+	// above cannot replay backwards on their own; the alias graph and the
+	// term context carry their own rewind machinery. Logging is off by
+	// default so one-shot per-candidate replays pay nothing for it; the
+	// batch walk switches it on before its first step.
+	logging bool
+	symLog  []*aliasgraph.Node
+	slotLog []slotUndo
+	execLog []int
+}
+
+// slotUndo records one PATA-NA slot-map write so rollback can restore the
+// overwritten version symbol (slots are versioned: a store replaces the
+// previous symbol rather than inserting a fresh key).
+type slotUndo struct {
+	addr cir.Value
+	old  *smt.Var
+	had  bool
+}
+
+// rmark is a checkpoint of the full replayer state.
+type rmark struct {
+	g       aliasgraph.Mark
+	vars    int
+	atoms   int
+	unaware int64
+	frames  []*cir.Call
+	syms    int
+	slots   int
+	execs   int
+}
+
+// checkpoint snapshots the replayer so a later rollback restores it
+// exactly. Replay is deterministic in the step sequence, so rolling back
+// and applying a different suffix leaves the replayer in precisely the
+// state a fresh replay of prefix+suffix would produce — including variable
+// IDs, which both the alias graph and the term context rewind.
+func (r *replayer) checkpoint() rmark {
+	return rmark{
+		g:       r.g.Checkpoint(),
+		vars:    r.ctx.NumVars(),
+		atoms:   len(r.atoms),
+		unaware: r.unaware,
+		frames:  append([]*cir.Call(nil), r.frames...),
+		syms:    len(r.symLog),
+		slots:   len(r.slotLog),
+		execs:   len(r.execLog),
+	}
+}
+
+func (r *replayer) rollback(m rmark) {
+	r.g.Rollback(m.g)
+	r.ctx.Rewind(m.vars)
+	r.atoms = r.atoms[:m.atoms]
+	r.unaware = m.unaware
+	// Copy, don't alias: a rolled-back frames slice gets appended to again,
+	// and a pop-then-push after restore would otherwise scribble over the
+	// checkpoint's saved elements, corrupting any second rollback to m.
+	r.frames = append(r.frames[:0:0], m.frames...)
+	for len(r.symLog) > m.syms {
+		n := r.symLog[len(r.symLog)-1]
+		r.symLog = r.symLog[:len(r.symLog)-1]
+		delete(r.syms, n)
+	}
+	for len(r.slotLog) > m.slots {
+		u := r.slotLog[len(r.slotLog)-1]
+		r.slotLog = r.slotLog[:len(r.slotLog)-1]
+		if u.had {
+			r.slot[u.addr] = u.old
+		} else {
+			delete(r.slot, u.addr)
+		}
+	}
+	for len(r.execLog) > m.execs {
+		gid := r.execLog[len(r.execLog)-1]
+		r.execLog = r.execLog[:len(r.execLog)-1]
+		if r.execs[gid]--; r.execs[gid] == 0 {
+			delete(r.execs, gid)
+		}
+	}
 }
 
 // symOf returns the single SMT symbol of an alias class (Definition 4).
@@ -246,6 +449,9 @@ func (r *replayer) symOf(n *aliasgraph.Node) *smt.Var {
 	}
 	s := r.ctx.Var("as")
 	r.syms[n] = s
+	if r.logging {
+		r.symLog = append(r.symLog, n)
+	}
 	return s
 }
 
@@ -283,68 +489,93 @@ func (r *replayer) countUnaware(t cir.Type) {
 
 func (r *replayer) replay(bug *core.PossibleBug, steps []core.PathStep) {
 	for i, st := range steps {
-		in := st.Instr
-		if r.execs[in.GID()] > 0 {
-			// Loop unrolling beyond once: a re-executed definition is a new
-			// dynamic instance (fresh class, fresh symbol).
-			if dst := in.Dest(); dst != nil {
-				r.g.Detach(dst)
-			}
-		}
-		r.execs[in.GID()]++
-		switch t := in.(type) {
-		case *cir.Move:
-			r.applyMoveLike(t.Dst, t.Src)
-		case *cir.Load:
-			r.replayLoad(t)
-		case *cir.Store:
-			r.replayStore(t)
-		case *cir.FieldAddr:
-			if r.mode != core.ModeNoAlias {
-				r.g.GEP(t.Dst, t.Base, aliasgraph.FieldLabel(t.Field))
-			}
-			r.countUnaware(t.Dst.Typ)
-		case *cir.IndexAddr:
-			if r.mode != core.ModeNoAlias {
-				r.g.GEP(t.Dst, t.Base, aliasgraph.IndexLabel(t.Index, cir.SiteToken(t)))
-			}
-			r.countUnaware(t.Dst.Typ)
-		case *cir.BinOp:
-			r.replayBinOp(t)
-		case *cir.Cmp:
-			// Encoded at the branch that consumes it.
-		case *cir.CondBr:
-			r.replayBranch(t, st.Taken)
-		case *cir.Call:
-			// Inlined iff the next step is the callee's entry instruction.
-			if i+1 < len(steps) {
-				if callee, ok := r.calleeOf(t, steps[i+1].Instr); ok {
-					for ai, p := range callee.Params {
-						if ai >= len(t.Args) {
-							break
-						}
-						r.applyMoveLike(p, t.Args[ai])
-					}
-					r.frames = append(r.frames, t)
-				}
-			}
-		case *cir.Ret:
-			if len(r.frames) > 0 {
-				call := r.frames[len(r.frames)-1]
-				r.frames = r.frames[:len(r.frames)-1]
-				if call.Dst != nil && t.Val != nil {
-					r.applyMoveLike(call.Dst, t.Val)
-				}
-			}
-		}
+		r.applyStep(st, stepCallee(st, steps, i))
 	}
 	if bug.Extra != nil {
 		r.addAtom(predAtom(bug.Extra.Pred, r.termOf(bug.Extra.Val), smt.Int(bug.Extra.Bound)))
 	}
 }
 
-// calleeOf reports whether next is the entry instruction of call's callee.
-func (r *replayer) calleeOf(call *cir.Call, next cir.Instr) (*cir.Function, bool) {
+// stepCallee resolves the inlined callee of step i: a call is inlined iff the
+// next step is the callee's entry instruction. Resolving it from the step
+// sequence up front keeps applyStep lookahead-free, which is what lets the
+// batched validator drive steps from a prefix trie instead of a flat slice.
+func stepCallee(st core.PathStep, steps []core.PathStep, i int) *cir.Function {
+	call, ok := st.Instr.(*cir.Call)
+	if !ok || i+1 >= len(steps) {
+		return nil
+	}
+	fn, ok := calleeFor(call, steps[i+1].Instr)
+	if !ok {
+		return nil
+	}
+	return fn
+}
+
+// applyStep replays one path step against the current state. callee is the
+// resolved inlined callee for a Call step (nil when the call is summarized);
+// the caller resolves it, typically via stepCallee. Every mutation is either
+// trailed by the alias graph / term context or recorded in the replayer's
+// undo logs, so checkpoint/rollback brackets any sequence of applySteps.
+func (r *replayer) applyStep(st core.PathStep, callee *cir.Function) {
+	in := st.Instr
+	if r.execs[in.GID()] > 0 {
+		// Loop unrolling beyond once: a re-executed definition is a new
+		// dynamic instance (fresh class, fresh symbol).
+		if dst := in.Dest(); dst != nil {
+			r.g.Detach(dst)
+		}
+	}
+	r.execs[in.GID()]++
+	if r.logging {
+		r.execLog = append(r.execLog, in.GID())
+	}
+	switch t := in.(type) {
+	case *cir.Move:
+		r.applyMoveLike(t.Dst, t.Src)
+	case *cir.Load:
+		r.replayLoad(t)
+	case *cir.Store:
+		r.replayStore(t)
+	case *cir.FieldAddr:
+		if r.mode != core.ModeNoAlias {
+			r.g.GEP(t.Dst, t.Base, aliasgraph.FieldLabel(t.Field))
+		}
+		r.countUnaware(t.Dst.Typ)
+	case *cir.IndexAddr:
+		if r.mode != core.ModeNoAlias {
+			r.g.GEP(t.Dst, t.Base, aliasgraph.IndexLabel(t.Index, cir.SiteToken(t)))
+		}
+		r.countUnaware(t.Dst.Typ)
+	case *cir.BinOp:
+		r.replayBinOp(t)
+	case *cir.Cmp:
+		// Encoded at the branch that consumes it.
+	case *cir.CondBr:
+		r.replayBranch(t, st.Taken)
+	case *cir.Call:
+		if callee != nil {
+			for ai, p := range callee.Params {
+				if ai >= len(t.Args) {
+					break
+				}
+				r.applyMoveLike(p, t.Args[ai])
+			}
+			r.frames = append(r.frames, t)
+		}
+	case *cir.Ret:
+		if len(r.frames) > 0 {
+			call := r.frames[len(r.frames)-1]
+			r.frames = r.frames[:len(r.frames)-1]
+			if call.Dst != nil && t.Val != nil {
+				r.applyMoveLike(call.Dst, t.Val)
+			}
+		}
+	}
+}
+
+// calleeFor reports whether next is the entry instruction of call's callee.
+func calleeFor(call *cir.Call, next cir.Instr) (*cir.Function, bool) {
 	blk := next.Block()
 	if blk == nil || blk.Fn == nil || blk.Fn.Name != call.Callee {
 		return nil, false
@@ -399,7 +630,11 @@ func (r *replayer) replayStore(t *cir.Store) {
 			// A fresh version symbol per store keeps flow-sensitivity for
 			// direct slots even without aliasing.
 			s := r.ctx.Var("slot")
+			old, had := r.slot[t.Addr]
 			r.slot[t.Addr] = s
+			if r.logging {
+				r.slotLog = append(r.slotLog, slotUndo{addr: t.Addr, old: old, had: had})
+			}
 			r.addAtom(smt.Eq(s, r.termOf(t.Val)))
 		}
 		return

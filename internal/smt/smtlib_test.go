@@ -1,0 +1,102 @@
+package smt
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSMTLIB2Deterministic(t *testing.T) {
+	ctx := NewContext()
+	a, b, c := ctx.Var("a"), ctx.Var("b"), ctx.Var("c")
+	f := And(
+		Gt(a, Int(0)),
+		Eq(b, Add(a, Int(1))),
+		Ne(c, Bin("&", a, b)),
+		Le(Mul(a, b), Int(100)),
+		Lt(Div(a, Int(2)), Rem(b, Int(3))),
+		Or(Eq(a, Int(-5)), Not(Eq(b, c))),
+	)
+	s1 := ToSMTLIB2(f)
+	s2 := ToSMTLIB2(f)
+	if s1 != s2 {
+		t.Fatalf("emission is not deterministic:\n%s\n---\n%s", s1, s2)
+	}
+	for _, want := range []string{
+		"(set-logic QF_UFNIA)",
+		"(declare-fun iand (Int Int) Int)",
+		"(declare-const v1 Int)",
+		"(declare-const v2 Int)",
+		"(declare-const v3 Int)",
+		"(div v1 2)",
+		"(mod v2 3)",
+		"(- 5)",
+		"(check-sat)",
+	} {
+		if !strings.Contains(s1, want) {
+			t.Errorf("script lacks %q:\n%s", want, s1)
+		}
+	}
+	// Declarations come out sorted so recorded-answer replay can key scripts.
+	i1 := strings.Index(s1, "(declare-const v1 Int)")
+	i2 := strings.Index(s1, "(declare-const v2 Int)")
+	i3 := strings.Index(s1, "(declare-const v3 Int)")
+	if !(i1 < i2 && i2 < i3) {
+		t.Error("declare-const lines are not sorted by variable ID")
+	}
+}
+
+func TestSMTLIB2EmptyConjunction(t *testing.T) {
+	s := ToSMTLIB2(And())
+	if !strings.Contains(s, "(assert true)") {
+		t.Errorf("empty conjunction should assert true:\n%s", s)
+	}
+}
+
+// TestDeadlinePollsInterruptMidPass pins the in-pass interrupt rule: a Done
+// channel closed while phase-3 propagation is in the middle of one sweep is
+// observed at the next poll stride, not only between passes — so a single
+// long pass over many inequalities cannot blow through a deadline.
+func TestDeadlinePollsInterruptMidPass(t *testing.T) {
+	ctx := NewContext()
+	// A long chain of inequalities keeps one propagation pass busy well past
+	// a poll stride.
+	var fs []Formula
+	vars := make([]*Var, 48)
+	for i := range vars {
+		vars[i] = ctx.Var("x")
+	}
+	for i := 0; i+1 < len(vars); i++ {
+		fs = append(fs, Le(vars[i], vars[i+1]))
+	}
+	fs = append(fs, Ge(vars[0], Int(0)), Le(vars[len(vars)-1], Int(1000)))
+
+	done := make(chan struct{})
+	var once sync.Once
+	s := NewSolver(ctx)
+	s.Done = done
+	s.pollHook = func() { once.Do(func() { close(done) }) }
+	res := s.Solve(And(fs...))
+	if res != Unknown {
+		t.Errorf("mid-pass interruption must answer Unknown, got %v", res)
+	}
+	if !s.Interrupted {
+		t.Error("Interrupted flag not latched")
+	}
+	if s.Stats.DeadlinePolls == 0 {
+		t.Error("no in-pass deadline polls were taken")
+	}
+
+	// The same system with no interruption decides normally and still counts
+	// its polls.
+	s2 := NewSolver(ctx)
+	if res := s2.Solve(And(fs...)); res != Sat {
+		t.Errorf("uninterrupted chain should be sat, got %v", res)
+	}
+	if s2.Interrupted {
+		t.Error("spurious Interrupted without deadline or done")
+	}
+	if s2.Stats.DeadlinePolls == 0 {
+		t.Error("expected poll-stride checks during a long pass")
+	}
+}

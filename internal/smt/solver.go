@@ -29,7 +29,18 @@ type Stats struct {
 	Conjunctions int
 	Atoms        int
 	Splits       int
+	// DeadlinePolls counts interrupt checks taken inside a propagation pass
+	// (every pollStride inequalities), in addition to the checks between
+	// cubes and between passes. Tests pin the in-pass granularity with it.
+	DeadlinePolls int
 }
+
+// pollStride is how many inequalities a propagation pass processes between
+// interrupt polls. Large conjunctions (batched Stage-2 sessions) can make a
+// single pass long enough that polling only at pass boundaries overshoots a
+// deadline by a full pass; polling every few dozen inequalities keeps the
+// overshoot to one bounded slice of work.
+const pollStride = 16
 
 // Solver decides formulas built from the constructors in this package.
 type Solver struct {
@@ -51,6 +62,9 @@ type Solver struct {
 	// about the formula, and must not be memoized.
 	Interrupted bool
 	Stats       Stats
+	// pollHook, when non-nil, runs immediately before each in-pass interrupt
+	// poll. Tests use it to trip a deadline deterministically mid-pass.
+	pollHook func()
 }
 
 // interrupted polls the deadline and done channel, latching Interrupted.
@@ -385,7 +399,16 @@ func (s *Solver) solveConjModel(atoms []*Atom) (Result, Model) {
 			return Unknown, nil
 		}
 		changed := false
-		for _, raw := range c.ineqs {
+		for i, raw := range c.ineqs {
+			if i > 0 && i%pollStride == 0 {
+				if s.pollHook != nil {
+					s.pollHook()
+				}
+				s.Stats.DeadlinePolls++
+				if s.interrupted() {
+					return Unknown, nil
+				}
+			}
 			l := c.canon(raw)
 			ids := l.vars()
 			if len(ids) == 0 {

@@ -70,6 +70,39 @@ func (c *Context) Var(name string) *Var {
 	return &Var{ID: c.nextID, Name: name}
 }
 
+// NumVars reports how many variable IDs the context has allocated.
+func (c *Context) NumVars() int { return c.nextID }
+
+// Reserve advances the context's ID counter so every variable it allocates
+// from now on has an ID strictly greater than n. A session context shared
+// across formulas built in other contexts (the batched validation cursor)
+// reserves past the largest foreign ID so any opaque variables it interns
+// cannot collide with candidate variables.
+func (c *Context) Reserve(n int) {
+	if n > c.nextID {
+		c.nextID = n
+	}
+}
+
+// Rewind rolls the context back to a state with n allocated variables:
+// the ID counter rewinds and every opaque interning made after that point
+// is forgotten. Because variable allocation is deterministic in the
+// sequence of Var/OpaqueFor calls, rewinding and then replaying a
+// different suffix of calls produces exactly the IDs a fresh context
+// replaying that suffix would — the property the batched validator's
+// shared-prefix replayer depends on.
+func (c *Context) Rewind(n int) {
+	if c.nextID <= n {
+		return
+	}
+	c.nextID = n
+	for k, v := range c.opaque {
+		if v.ID > n {
+			delete(c.opaque, k)
+		}
+	}
+}
+
 // OpaqueFor returns a stable fresh variable standing for a non-linear or
 // uninterpreted term, interned by structural key so syntactically identical
 // terms share one symbol (congruence-lite).

@@ -125,6 +125,18 @@ type Config struct {
 	// deeper rungs also halve the inlining depth). 0 means the default of
 	// one retry; negative disables retries.
 	MaxRetries int
+	// ValidateBackend selects the Stage-2 solver backend: "" or "builtin"
+	// for the built-in SMT-lite solver, "smtlib2" to additionally render
+	// each constraint system to SMT-LIB2 (emit-only cross-check), or
+	// "smtlib2:CMD [ARGS...]" to pipe the script to an external solver
+	// process (e.g. "smtlib2:z3 -in") whose check-sat answer is
+	// cross-checked against the builtin verdict.
+	ValidateBackend string
+	// NoBatchValidate disables batched prefix-sharing Stage-2 validation
+	// (default on): without it, every candidate solves its path condition
+	// from scratch even when same-entry candidates share long condition
+	// prefixes. Reports are identical either way; only wall-clock changes.
+	NoBatchValidate bool
 }
 
 // Bug is one validated finding.
@@ -227,12 +239,22 @@ func (c Config) engineConfig() (core.Config, error) {
 		EntryTimeout:            c.EntryTimeout,
 		RunTimeout:              c.RunTimeout,
 		MaxRetries:              c.MaxRetries,
+		ValidateBackend:         c.ValidateBackend,
+		NoBatchValidate:         c.NoBatchValidate,
 	}
 	if c.NoAlias {
 		ec.Mode = core.ModeNoAlias
 	}
 	if !c.SkipValidation {
-		pathval.New().Install(&ec)
+		v := pathval.New()
+		if c.ValidateBackend != "" {
+			be, err := pathval.BackendFromSpec(c.ValidateBackend)
+			if err != nil {
+				return core.Config{}, err
+			}
+			v.Backend = be
+		}
+		v.Install(&ec)
 	}
 	if c.CacheDir != "" {
 		store, err := acache.Open(c.CacheDir, c.CacheMaxBytes)
