@@ -22,8 +22,8 @@
 //	-stats                 print engine statistics
 //	-json                  emit machine-readable JSON
 //	-unroll N              loop unroll factor (default 1, the paper's rule)
-//	-workers N             analyze entry functions with N concurrent engines
-//	-validate-workers N    Stage-2 validation workers (0 = GOMAXPROCS)
+//	-workers N             Stage-1 analysis workers (0 = GOMAXPROCS, 1 = sequential)
+//	-validate-workers N    Stage-2 validation workers (0 = GOMAXPROCS, 1 = sequential)
 //	-entry-timeout D       wall-clock budget per entry function (0 = none)
 //	-run-timeout D         wall-clock budget for the whole run (0 = none)
 //	-max-retries N         degrade-ladder retries per sick entry (0 = default 1)
@@ -31,6 +31,8 @@
 //	-cache-max-bytes N     evict least-recently-used cache entries past N bytes
 //	-cpuprofile FILE       write a CPU profile of the analysis to FILE
 //	-memprofile FILE       write an allocation profile at exit to FILE
+//	-blockprofile FILE     write a goroutine blocking profile at exit to FILE
+//	-mutexprofile FILE     write a mutex contention profile at exit to FILE
 package main
 
 import (
@@ -38,11 +40,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 
 	pata "repro"
+	"repro/internal/profiles"
 	"repro/internal/report"
 )
 
@@ -61,8 +62,8 @@ func main() {
 	stats := flag.Bool("stats", false, "print engine statistics")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	unroll := flag.Int("unroll", 1, "loop unroll factor (paper default 1)")
-	workers := flag.Int("workers", 1, "analyze entry functions with N concurrent engines")
-	validateWorkers := flag.Int("validate-workers", 0, "Stage-2 validation workers when -workers > 1 (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "Stage-1 analysis workers (0 = GOMAXPROCS, 1 = sequential)")
+	validateWorkers := flag.Int("validate-workers", 0, "Stage-2 validation workers (0 = GOMAXPROCS, 1 = sequential)")
 	cacheDir := flag.String("cache-dir", "", "persist per-entry analysis results in this directory for incremental re-runs")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries once the cache exceeds this many bytes (0 = unlimited)")
 	entryTimeout := flag.Duration("entry-timeout", 0, "wall-clock budget per entry function, e.g. 30s (0 = no deadline); sick entries retry on the degrade ladder and are reported as incomplete")
@@ -71,6 +72,8 @@ func main() {
 	witness := flag.Bool("witness", false, "print each bug's witness path and trigger values")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine blocking profile at exit to this file (captures channel/backpressure stalls)")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile at exit to this file (captures lock convoys)")
 	flag.Parse()
 
 	cfg := pata.Config{
@@ -97,16 +100,10 @@ func main() {
 		cfg.Checkers = strings.Split(*checkers, ",")
 	}
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pata:", err)
-			os.Exit(1)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "pata:", err)
-			os.Exit(1)
-		}
+	prof := &profiles.Set{CPU: *cpuProfile, Mem: *memProfile, Block: *blockProfile, Mutex: *mutexProfile}
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "pata:", err)
+		os.Exit(1)
 	}
 
 	var (
@@ -128,16 +125,13 @@ func main() {
 		os.Exit(1)
 	}
 
-	// exit wraps os.Exit so the profile defers above still run.
+	// exit wraps os.Exit so the requested profiles are written first.
 	exit := func(code int) {
-		if *memProfile != "" {
-			if werr := writeMemProfile(*memProfile); werr != nil {
-				fmt.Fprintln(os.Stderr, "pata:", werr)
+		if werr := prof.Stop(); werr != nil {
+			fmt.Fprintln(os.Stderr, "pata:", werr)
+			if code == 0 {
 				code = 1
 			}
-		}
-		if *cpuProfile != "" {
-			pprof.StopCPUProfile()
 		}
 		os.Exit(code)
 	}
@@ -188,14 +182,4 @@ func main() {
 		exit(3) // bugs found: non-zero for CI use
 	}
 	exit(0)
-}
-
-func writeMemProfile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	runtime.GC() // settle allocations so the heap profile reflects live data
-	return pprof.Lookup("allocs").WriteTo(f, 0)
 }

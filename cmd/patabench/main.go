@@ -7,56 +7,53 @@
 //	patabench -exp bench [-bench-out BENCH_pipeline.json]
 //	patabench -exp incremental [-incremental-out BENCH_incremental.json]
 //	patabench -exp validate [-validate-out BENCH_validate.json]
+//	patabench -exp scaling [-scaling-out BENCH_scaling.json]
 //	patabench -exp smoke
 //	patabench -exp validate-smoke
+//	patabench -exp scaling-smoke
 //
 // -cpuprofile/-memprofile write pprof profiles of the selected experiment,
-// for chasing regressions in the analysis hot loops.
+// for chasing regressions in the analysis hot loops. -blockprofile and
+// -mutexprofile are the contention lens for the parallel experiments: they
+// show time parked on channels and which locks workers convoy on.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 
 	"repro/internal/exp"
+	"repro/internal/profiles"
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table4, table5, table6, table7, table8, fig11, fpaudit, extensions, cases, fsm, pruning, summaries, degrade, bench, incremental, or all")
+	which := flag.String("exp", "all", "experiment: table4, table5, table6, table7, table8, fig11, fpaudit, extensions, cases, fsm, pruning, summaries, degrade, bench, incremental, validate, scaling, or all")
 	benchOut := flag.String("bench-out", "BENCH_pipeline.json", "output path for -exp bench")
 	incOut := flag.String("incremental-out", "BENCH_incremental.json", "output path for -exp incremental")
 	valOut := flag.String("validate-out", "BENCH_validate.json", "output path for -exp validate")
+	scalingOut := flag.String("scaling-out", "BENCH_scaling.json", "output path for -exp scaling")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine blocking profile (channel/select waits) at exit to this file")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile at exit to this file")
 	flag.Parse()
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "patabench:", err)
-			os.Exit(1)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "patabench:", err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
+	prof := &profiles.Set{CPU: *cpuProfile, Mem: *memProfile, Block: *blockProfile, Mutex: *mutexProfile}
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "patabench:", err)
+		os.Exit(1)
 	}
 	defer func() {
-		if *memProfile != "" {
-			if err := writeMemProfile(*memProfile); err != nil {
-				fmt.Fprintln(os.Stderr, "patabench:", err)
-			}
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "patabench:", err)
 		}
 	}()
 
 	fail := func(name string, err error) {
 		fmt.Fprintf(os.Stderr, "patabench: %s: %v\n", name, err)
-		if *cpuProfile != "" {
-			pprof.StopCPUProfile()
+		if perr := prof.Stop(); perr != nil {
+			fmt.Fprintln(os.Stderr, "patabench:", perr)
 		}
 		os.Exit(1)
 	}
@@ -84,8 +81,8 @@ func main() {
 	run("summaries", func() error { _, err := exp.SummaryTable(os.Stdout); return err })
 	run("degrade", func() error { _, err := exp.DegradeTable(os.Stdout); return err })
 
-	// bench and incremental write BENCH_*.json files, so they only run when
-	// asked for explicitly, never under -exp all.
+	// bench, incremental, validate and scaling write BENCH_*.json files, so
+	// they only run when asked for explicitly, never under -exp all.
 	if *which == "bench" {
 		if err := exp.WriteBenchJSON(os.Stdout, *benchOut); err != nil {
 			fail("bench", err)
@@ -99,6 +96,11 @@ func main() {
 	if *which == "validate" {
 		if err := exp.WriteValidateJSON(os.Stdout, *valOut); err != nil {
 			fail("validate", err)
+		}
+	}
+	if *which == "scaling" {
+		if err := exp.WriteScalingJSON(os.Stdout, *scalingOut); err != nil {
+			fail("scaling", err)
 		}
 	}
 	// smoke is the CI wall-clock gate for the adaptive cost model; it runs
@@ -115,14 +117,11 @@ func main() {
 			fail("validate-smoke", err)
 		}
 	}
-}
-
-func writeMemProfile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	// scaling-smoke is the CI gate for parallel scaling: workers=4 must beat
+	// workers=1 by a CPU-count-aware floor with byte-identical reports.
+	if *which == "scaling-smoke" {
+		if err := exp.ScalingSmoke(os.Stdout); err != nil {
+			fail("scaling-smoke", err)
+		}
 	}
-	defer f.Close()
-	runtime.GC() // settle allocations so the heap profile reflects live data
-	return pprof.Lookup("allocs").WriteTo(f, 0)
 }

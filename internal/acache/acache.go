@@ -32,12 +32,36 @@ const (
 	ext = ".capsule"
 )
 
-// Store is a directory-backed capsule cache. Safe for concurrent use.
+// storeStripes is the key-lock stripe count. Per-key locking only needs to
+// serialize writers against readers of the SAME key (rename is atomic, so
+// even that is belt-and-braces against mtime-touch races); 16 stripes make
+// cross-key convoys — many parallel workers probing a warm cache — vanishingly
+// rare without per-key lock bookkeeping.
+const storeStripes = 16
+
+// Store is a directory-backed capsule cache. Safe for concurrent use:
+// operations on different keys proceed in parallel (locks are striped by key
+// hash), and only the directory-scanning eviction pass is serialized.
 type Store struct {
 	dir      string
 	maxBytes int64
 
-	mu sync.Mutex
+	// stripes[i] guards the keys hashing to stripe i. Filesystem renames are
+	// already atomic, so the stripe lock only serializes same-key writers and
+	// the Load-side mtime touch; it deliberately does NOT serialize Load
+	// against eviction (losing a capsule that was being read re-reads as a
+	// miss, which a cache is allowed to do).
+	stripes [storeStripes]sync.Mutex
+	// evictMu serializes the whole-directory eviction scan; one evictor at a
+	// time is enough, and Save skips the scan when another is already running.
+	evictMu sync.Mutex
+}
+
+// stripe returns the lock guarding key.
+func (s *Store) stripe(key string) *sync.Mutex {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &s.stripes[h.Sum32()%storeStripes]
 }
 
 // Open prepares (creating if needed) the cache directory. maxBytes caps the
@@ -70,8 +94,9 @@ func (s *Store) path(key string) string { return filepath.Join(s.dir, key+ext) }
 // so the slot heals on the next Save. A hit refreshes the file's mtime
 // (the LRU clock).
 func (s *Store) Load(key string) ([]byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	mu := s.stripe(key)
+	mu.Lock()
+	defer mu.Unlock()
 	p := s.path(key)
 	data, err := os.ReadFile(p)
 	if err != nil {
@@ -92,9 +117,11 @@ func (s *Store) Load(key string) ([]byte, bool) {
 // and crashed writers only ever observe complete frames. Errors are
 // swallowed — a failed Save leaves the cache as it was. After a successful
 // write the byte cap is enforced by evicting oldest-mtime capsules.
+//
+// The frame encode and temp-file write run outside any lock (they touch no
+// shared state — the temp name is unique), so parallel workers saving
+// different keys only serialize on the rename under their key's stripe.
 func (s *Store) Save(key string, payload []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
 	if err != nil {
 		return
@@ -105,15 +132,36 @@ func (s *Store) Save(key string, payload []byte) {
 		os.Remove(tmp.Name())
 		return
 	}
-	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+	mu := s.stripe(key)
+	mu.Lock()
+	err = os.Rename(tmp.Name(), s.path(key))
+	mu.Unlock()
+	if err != nil {
 		os.Remove(tmp.Name())
 		return
 	}
+	s.evict()
+}
+
+// evict enforces the byte cap. At most one directory scan runs at a time; a
+// Save that finds another evictor mid-scan skips its own pass rather than
+// queueing — the cap is advisory and the next uncontended Save re-enforces
+// it, so a transient overshoot is the price of not convoying every writer
+// behind a full ReadDir.
+func (s *Store) evict() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	if !s.evictMu.TryLock() {
+		return
+	}
+	defer s.evictMu.Unlock()
 	s.evictLocked()
 }
 
 // evictLocked removes oldest-mtime capsules until the store fits maxBytes.
 // The capsule just written has the newest mtime, so it is evicted last.
+// Callers hold evictMu.
 func (s *Store) evictLocked() {
 	if s.maxBytes <= 0 {
 		return

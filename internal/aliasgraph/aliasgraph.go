@@ -161,6 +161,21 @@ func New() *Graph {
 	}
 }
 
+// Reset returns the graph to the empty state New produces while keeping the
+// allocations a previous run warmed up: the backing arrays of nodes/trail and
+// the valHash/labelHash caches (both are pure functions of their keys, so
+// stale entries can never change a hash). Node IDs restart at 1 and the
+// fingerprint at 0, so a reset graph replays a path bit-identically to a
+// fresh one — which is what lets the path validator pool replayers instead of
+// allocating graph+maps per candidate.
+func (g *Graph) Reset() {
+	clear(g.varOf)
+	g.nodes = g.nodes[:0]
+	g.trail = g.trail[:0]
+	g.nextID = 0
+	g.fp = 0
+}
+
 // Fingerprint returns the incrementally maintained hash of the live graph.
 // Equal graphs (same memberships, edges, and constant bindings over the same
 // node IDs) always fingerprint equal; distinct graphs collide only with

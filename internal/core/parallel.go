@@ -192,18 +192,35 @@ func RunParallelCtx(ctx context.Context, mod *cir.Module, cfg Config, workers in
 
 	// Incremental lookup: probe the cache for every entry up front. Hits
 	// are replayed straight into the merge; only misses are scheduled onto
-	// the Stage-1 deques.
+	// the Stage-1 deques. The key pass is sequential — EntryKey memoizes
+	// function fingerprints on first computation, and hashing is cheap — but
+	// the capsule reads and decodes fan out across workers: each probe
+	// touches a disjoint hits slot, the store's locks are striped by key,
+	// and decodeCapsule only reads the module.
 	var salt uint64
 	var keys []string
-	hits := make(map[int]*Result)
+	hits := make([]*Result, len(entries))
 	if cache != nil {
 		salt = cfg.analysisSalt(mod)
 		byName := checkersByName(cfg)
 		keys = make([]string, len(entries))
 		for i, fn := range entries {
 			keys[i] = entryKeyString(cg.EntryKey(fn, salt))
-			if data, ok := cache.Load(keys[i]); ok {
-				if res, ok := decodeCapsule(data, mod, byName); ok {
+		}
+		var wgP sync.WaitGroup
+		for p := 0; p < workers; p++ {
+			wgP.Add(1)
+			go func(p int) {
+				defer wgP.Done()
+				for i := p; i < len(entries); i += workers {
+					data, ok := cache.Load(keys[i])
+					if !ok {
+						continue
+					}
+					res, ok := decodeCapsule(data, mod, byName)
+					if !ok {
+						continue
+					}
 					// Budget trips are deterministic, so budget-tripped
 					// capsules are cacheable; their incomplete record is
 					// synthesized on replay (capsules predate the record's
@@ -212,16 +229,17 @@ func RunParallelCtx(ctx context.Context, mod *cir.Module, cfg Config, workers in
 					// surface from a hit.
 					if res.Stats.Budgeted > 0 {
 						res.Incomplete = append(res.Incomplete,
-							IncompleteEntry{Entry: fn.Name, Reason: ReasonBudget, Rung: 0})
+							IncompleteEntry{Entry: entries[i].Name, Reason: ReasonBudget, Rung: 0})
 					}
 					hits[i] = res
 				}
-			}
+			}(p)
 		}
+		wgP.Wait()
 	}
-	live := make([]entryTask, 0, len(entries)-len(hits))
+	live := make([]entryTask, 0, len(entries))
 	for i, fn := range entries {
-		if _, hit := hits[i]; hit {
+		if hits[i] != nil {
 			continue
 		}
 		live = append(live, entryTask{idx: i, fn: fn})
@@ -258,7 +276,14 @@ func RunParallelCtx(ctx context.Context, mod *cir.Module, cfg Config, workers in
 		idx int
 		res *Result
 	}
-	resCh := make(chan entryResult, workers)
+	// resCh holds every entry's result without blocking: Stage-1 throughput
+	// is the scaling product, so a worker finishing an entry must never
+	// stall behind the merger — which CAN stall, briefly, on the bounded
+	// vtasks channel when Stage-2 validators fall behind. vtasks is the
+	// deliberate backpressure point (it bounds in-flight validation memory);
+	// resCh is deliberately not one (its entries are already materialized,
+	// buffering them adds no memory beyond the slice header per entry).
+	resCh := make(chan entryResult, len(entries)+1)
 	var steals int64
 	var wg1 sync.WaitGroup
 	subCfg := cfg
@@ -313,7 +338,9 @@ func RunParallelCtx(ctx context.Context, mod *cir.Module, cfg Config, workers in
 	go func() {
 		defer wg1.Done()
 		for idx, res := range hits {
-			resCh <- entryResult{idx: idx, res: res}
+			if res != nil {
+				resCh <- entryResult{idx: idx, res: res}
+			}
 		}
 	}()
 
@@ -334,7 +361,10 @@ func RunParallelCtx(ctx context.Context, mod *cir.Module, cfg Config, workers in
 	// batching off or absent, tasks stay per-candidate, preserving
 	// within-entry validation concurrency.
 	batching := eager && cfg.ValidateBatch != nil && !cfg.NoBatchValidate
-	var solverNanos int64 // shared by every validator goroutine below
+	// solverNanos is the run-wide total; each validator goroutine accumulates
+	// into its own local counter and folds it in exactly once at exit, so the
+	// hot path never bounces a shared cache line between workers.
+	var solverNanos int64
 	vtasks := make(chan []*candRec, 4*vworkers)
 	var wgV sync.WaitGroup
 	if eager {
@@ -342,12 +372,14 @@ func RunParallelCtx(ctx context.Context, mod *cir.Module, cfg Config, workers in
 			wgV.Add(1)
 			go func() {
 				defer wgV.Done()
+				var mySolver int64
+				defer func() { atomic.AddInt64(&solverNanos, mySolver) }()
 				for batch := range vtasks {
 					prims := make([]*PossibleBug, len(batch))
 					for i, rec := range batch {
 						prims[i] = rec.prim
 					}
-					outs := validateBatchGuarded(ctx, cfg, prims, &solverNanos)
+					outs := validateBatchGuarded(ctx, cfg, prims, &mySolver)
 					for i, rec := range batch {
 						rec.out = outs[i]
 					}
@@ -478,6 +510,8 @@ func RunParallelCtx(ctx context.Context, mod *cir.Module, cfg Config, workers in
 			wgF.Add(1)
 			go func() {
 				defer wgF.Done()
+				var mySolver int64
+				defer func() { atomic.AddInt64(&solverNanos, mySolver) }()
 				for rec := range vc {
 					key, keyed := verdictKey(salt, rec.pb, cfg.Mode)
 					if keyed {
@@ -511,11 +545,13 @@ func RunParallelCtx(ctx context.Context, mod *cir.Module, cfg Config, workers in
 			wgA.Add(1)
 			go func() {
 				defer wgA.Done()
+				var mySolver int64
+				defer func() { atomic.AddInt64(&solverNanos, mySolver) }()
 				for rec := range altCh {
 					alt := *rec.pb
 					alt.Path = rec.pb.AltPaths[0]
 					alt.AltPaths = rec.pb.AltPaths[1:]
-					out := validateGuarded(ctx, cfg, &alt, &solverNanos)
+					out := validateGuarded(ctx, cfg, &alt, &mySolver)
 					rec.out.Feasible = out.Feasible
 					rec.out.Constraints += out.Constraints
 					rec.out.ConstraintsUnaware += out.ConstraintsUnaware

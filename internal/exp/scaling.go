@@ -1,0 +1,291 @@
+// Multi-core scaling experiment: how does the pipelined scheduler's
+// wall-clock move as workers grow, and what does the shared-state tier
+// (verdict-cache shards, steal deques) cost under contention? Each corpus
+// runs the full two-stage pipeline at workers ∈ {1, 2, 4, 8} under two
+// verdict-cache layouts — the shipped sharded cache and the single-shard
+// "global-mutex" baseline it replaced — with Stage-1 and Stage-2 worker
+// counts scaled together. Reports are asserted byte-identical across every
+// cell (the scheduler's core guarantee), so the grid measures scheduling
+// only.
+//
+// Honesty note: speedup is machine-dependent, and on a single-CPU host
+// (GOMAXPROCS=1) there is no parallelism to measure — workers>1 then only
+// adds scheduling overhead. The report therefore records NumCPU/GOMAXPROCS
+// next to the curves, and the CI gate (ScalingSmoke) scales its floor with
+// the CPUs actually available instead of asserting a speedup the hardware
+// cannot produce. Contention counters (ShardConflicts) are exact event
+// counts, not timings, and are the portable part of the result.
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/oscorpus"
+	"repro/internal/pathval"
+	"repro/internal/typestate"
+)
+
+// scalingWorkers is the worker-count axis of the grid. Both stages scale
+// together (Workers = ValidateWorkers = N).
+var scalingWorkers = []int{1, 2, 4, 8}
+
+// scalingVariants are the verdict-cache layouts compared: "sharded" is the
+// shipped default (16 lock-striped shards), "global-mutex" pins CacheShards=1
+// — exactly the pre-sharding single-lock layout — as the contention baseline.
+var scalingVariants = []string{"sharded", "global-mutex"}
+
+// scalingCorpora returns the grid's corpora: the largest paper corpus
+// (linux-like) plus the two stress corpora whose Stage-2 load exercises the
+// verdict cache hardest.
+func scalingCorpora() []*oscorpus.Corpus {
+	return []*oscorpus.Corpus{
+		oscorpus.Generate(oscorpus.LinuxSpec()),
+		oscorpus.Generate(oscorpus.HelperHeavySpec()),
+		oscorpus.Generate(oscorpus.ValidationHeavySpec()),
+	}
+}
+
+// scalingConfig builds one cell's engine config with its own validator, so
+// the cell's cache counters can be read back after the run. shards=1 is the
+// global-mutex baseline; 0 selects the sharded default.
+func scalingConfig(variant string, workers int) (core.Config, *pathval.Validator) {
+	v := pathval.New()
+	if variant == "global-mutex" {
+		v.CacheShards = 1
+	}
+	cfg := core.Config{Checkers: typestate.CoreCheckers(), ValidateWorkers: workers}
+	v.Install(&cfg)
+	return cfg, v
+}
+
+// ScalingEntry is one cell of the scaling grid: one corpus, one cache
+// layout, one worker count. WallClockMS is the best over the interleaved
+// rounds; the counters come from the last run (they are deterministic for a
+// given schedule apart from ShardConflicts and WorkSteals, which are genuine
+// concurrency measurements).
+type ScalingEntry struct {
+	OS          string  `json:"os"`
+	Variant     string  `json:"variant"`
+	Workers     int     `json:"workers"`
+	WallClockMS float64 `json:"wall_clock_ms"`
+	// SpeedupVs1 is this cell's wall-clock speedup over the same corpus and
+	// variant at workers=1 (>1 means faster).
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+	// ShardConflicts counts contended verdict-cache lock acquisitions — the
+	// direct measure of cache convoying the sharding removes.
+	ShardConflicts int64 `json:"shard_conflicts"`
+	CacheHits      int64 `json:"validation_cache_hits"`
+	CacheMisses    int64 `json:"validation_cache_misses"`
+	WorkSteals     int64 `json:"work_steals"`
+	Bugs           int   `json:"bugs"`
+}
+
+// ScalingReport is the schema of BENCH_scaling.json. Wall-clock cells are
+// machine-dependent — NumCPU/GOMAXPROCS record the machine's parallelism so
+// a committed curve is interpretable — while the report asserts that every
+// cell's bug reports matched byte-for-byte before any timing is trusted.
+type ScalingReport struct {
+	Workload   string         `json:"workload"`
+	NumCPU     int            `json:"num_cpu"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Entries    []ScalingEntry `json:"entries"`
+	// Speedup4xSharded maps corpus → sharded-cache speedup at workers=4 vs
+	// workers=1, the headline scaling number.
+	Speedup4xSharded map[string]float64 `json:"speedup_4x_sharded"`
+}
+
+// scalingCell keys one (variant, workers) measurement within a corpus row.
+type scalingCell struct {
+	variant string
+	workers int
+}
+
+// scalingRow runs one corpus over the full (variant × workers) grid,
+// interleaved round-robin with the cell order reversed every round so
+// machine-load drift and process warmup spread evenly across cells. Every
+// cell's reports must match the first cell's exactly — the byte-identical
+// guarantee is a precondition for comparing their timings at all. The corpus
+// is lowered once per run (lowering is identical work for every cell and
+// excluded from the timed window).
+func scalingRow(c *oscorpus.Corpus, rounds int, variants []string, workerCounts []int) ([]ScalingEntry, error) {
+	cells := make([]scalingCell, 0, len(variants)*len(workerCounts))
+	for _, variant := range variants {
+		for _, w := range workerCounts {
+			cells = append(cells, scalingCell{variant: variant, workers: w})
+		}
+	}
+	bestWall := map[scalingCell]float64{}
+	lastRun := map[scalingCell]*ToolRun{}
+	lastVal := map[scalingCell]*pathval.Validator{}
+	for round := 0; round < rounds; round++ {
+		order := cells
+		if round%2 == 1 {
+			order = make([]scalingCell, len(cells))
+			for i, cell := range cells {
+				order[len(cells)-1-i] = cell
+			}
+		}
+		for _, cell := range order {
+			mod, err := lowerCorpus(c)
+			if err != nil {
+				return nil, err
+			}
+			cfg, v := scalingConfig(cell.variant, cell.workers)
+			start := time.Now()
+			res := core.RunParallel(mod, cfg, cell.workers)
+			elapsed := time.Since(start)
+			run := &ToolRun{
+				Tool:    "pata-scaling",
+				Reports: bugReports("pata-scaling", res.Bugs),
+				Elapsed: elapsed,
+				Stats:   res.Stats,
+			}
+			ms := float64(elapsed.Microseconds()) / 1000
+			if cur, ok := bestWall[cell]; !ok || ms < cur {
+				bestWall[cell] = ms
+			}
+			lastRun[cell] = run
+			lastVal[cell] = v
+		}
+	}
+	ref := lastRun[cells[0]]
+	for _, cell := range cells[1:] {
+		if !reflect.DeepEqual(ref.Reports, lastRun[cell].Reports) {
+			return nil, fmt.Errorf("%s: reports at %s workers=%d differ from %s workers=%d — byte-identical guarantee broken",
+				c.Spec.Name, cell.variant, cell.workers, cells[0].variant, cells[0].workers)
+		}
+	}
+	entries := make([]ScalingEntry, 0, len(cells))
+	for _, cell := range cells {
+		run, v := lastRun[cell], lastVal[cell]
+		e := ScalingEntry{
+			OS:             c.Spec.Name,
+			Variant:        cell.variant,
+			Workers:        cell.workers,
+			WallClockMS:    bestWall[cell],
+			ShardConflicts: v.ShardConflicts,
+			CacheHits:      v.CacheHits,
+			CacheMisses:    v.CacheMisses,
+			WorkSteals:     run.Stats.WorkSteals,
+			Bugs:           len(run.Reports),
+		}
+		if base := bestWall[scalingCell{variant: cell.variant, workers: 1}]; base > 0 && e.WallClockMS > 0 {
+			e.SpeedupVs1 = base / e.WallClockMS
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// ScalingBench runs the full scaling grid and prints the per-corpus curves.
+func ScalingBench(w io.Writer) (*ScalingReport, error) {
+	rep := &ScalingReport{
+		Workload:         "scaling (linux-like, helper-heavy, validate-heavy)",
+		NumCPU:           runtime.NumCPU(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Speedup4xSharded: map[string]float64{},
+	}
+	for _, c := range scalingCorpora() {
+		entries, err := scalingRow(c, 7, scalingVariants, scalingWorkers)
+		if err != nil {
+			return nil, err
+		}
+		rep.Entries = append(rep.Entries, entries...)
+		for _, e := range entries {
+			if e.Variant == "sharded" && e.Workers == 4 {
+				rep.Speedup4xSharded[e.OS] = e.SpeedupVs1
+			}
+			if w != nil {
+				fmt.Fprintf(w, "scaling %-16s %-12s workers=%d  %8.2fms  speedup %.2fx  (shard conflicts %d, steals %d)\n",
+					e.OS, e.Variant, e.Workers, e.WallClockMS, e.SpeedupVs1, e.ShardConflicts, e.WorkSteals)
+			}
+		}
+	}
+	if w != nil {
+		fmt.Fprintf(w, "scaling: %d CPUs (GOMAXPROCS %d); workers=4 sharded speedups:", rep.NumCPU, rep.GOMAXPROCS)
+		for _, c := range scalingCorpora() {
+			fmt.Fprintf(w, " %s %.2fx", c.Spec.Name, rep.Speedup4xSharded[c.Spec.Name])
+		}
+		fmt.Fprintln(w)
+	}
+	return rep, nil
+}
+
+// scalingSmokeFloor returns the workers=4 speedup floor the CI gate enforces
+// on this machine, with the jitter allowance already folded in. The target
+// curve is ≥1.8x at 4 workers on ≥4 CPUs; the gate asks for a conservative
+// 1.3x there so scheduler noise doesn't flake CI. With fewer CPUs a 4-worker
+// run cannot beat that — 2-3 CPUs are asked for a modest win, and a single
+// CPU only has to show that the parallel machinery doesn't REGRESS the
+// 1-worker pipeline by more than scheduling noise (floor 0.8x).
+func scalingSmokeFloor() float64 {
+	switch cpus := runtime.GOMAXPROCS(0); {
+	case cpus >= 4:
+		return 1.3
+	case cpus >= 2:
+		return 1.1
+	default:
+		return 0.8
+	}
+}
+
+// ScalingSmoke is the CI regression gate for parallel scaling: on the
+// largest corpus (linux-like), the sharded pipeline at workers=4 must beat
+// workers=1 by the machine-appropriate floor (see scalingSmokeFloor), and
+// both cells' reports must stay byte-identical. Timing is interleaved
+// best-of-rounds (best-of absorbs process warmup, so no separate discarded
+// round is needed); only the two cells the gate compares are run, keeping
+// the CI step cheap.
+func ScalingSmoke(w io.Writer) error {
+	c := oscorpus.Generate(oscorpus.LinuxSpec())
+	entries, err := scalingRow(c, 6, []string{"sharded"}, []int{1, 4})
+	if err != nil {
+		return err
+	}
+	floor := scalingSmokeFloor()
+	var at4 ScalingEntry
+	for _, e := range entries {
+		if e.Variant == "sharded" && e.Workers == 4 {
+			at4 = e
+		}
+	}
+	if w != nil {
+		fmt.Fprintf(w, "scaling smoke (%s, %d CPUs): workers=4 sharded %.2fms, speedup %.2fx vs workers=1 (floor %.2fx)\n",
+			c.Spec.Name, runtime.GOMAXPROCS(0), at4.WallClockMS, at4.SpeedupVs1, floor)
+	}
+	if at4.SpeedupVs1 < floor {
+		return fmt.Errorf("scaling smoke: workers=4 speedup %.2fx under the %.2fx floor on %d CPUs",
+			at4.SpeedupVs1, floor, runtime.GOMAXPROCS(0))
+	}
+	return nil
+}
+
+// WriteScalingJSON runs ScalingBench and writes the report to path
+// (conventionally BENCH_scaling.json at the repo root).
+func WriteScalingJSON(w io.Writer, path string) error {
+	rep, err := ScalingBench(w)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if w != nil {
+		fmt.Fprintf(w, "wrote %s (%d entries)\n", path, len(rep.Entries))
+	}
+	return nil
+}

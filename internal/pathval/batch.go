@@ -72,7 +72,8 @@ func (v *Validator) ValidateBatchCtx(ctx context.Context, bugs []*core.PossibleB
 	// (see batchSessionReserve).
 	sctx := smt.NewContext()
 	sctx.Reserve(batchSessionReserve)
-	r := newReplayer(mode)
+	r := v.acquireReplayer(mode)
+	defer v.releaseReplayer(r)
 	r.logging = true // checkpoint/rollback needs the undo logs from step one
 	w := &batchWalk{
 		v:    v,

@@ -160,6 +160,9 @@ func TestVerdictCacheLRUBound(t *testing.T) {
 	if len(cands) < 3 {
 		t.Fatalf("want 3 candidates, got %d", len(cands))
 	}
+	// Single shard: with one global stripe the per-shard bound equals the
+	// validator bound, so the test pins the exact pre-sharding LRU behavior.
+	v.CacheShards = 1
 	v.MaxCacheEntries = 1
 	want := perCandidateOutcomes(cands, core.ModePATA)
 	for round := 0; round < 2; round++ {
@@ -174,8 +177,8 @@ func TestVerdictCacheLRUBound(t *testing.T) {
 	if v.CacheEvictions == 0 {
 		t.Error("MaxCacheEntries=1 over distinct systems should evict")
 	}
-	if v.lru.Len() > 1 {
-		t.Errorf("cache holds %d entries, bound is 1", v.lru.Len())
+	if n := v.cacheEntries(); n > 1 {
+		t.Errorf("cache holds %d entries, bound is 1", n)
 	}
 }
 

@@ -10,7 +10,6 @@
 package pathval
 
 import (
-	"container/list"
 	"context"
 	"fmt"
 	"sort"
@@ -51,20 +50,35 @@ type Validator struct {
 	CacheHits      int64
 	CacheMisses    int64
 	CacheEvictions int64
+	// ShardConflicts counts contended verdict-cache lock acquisitions (a
+	// TryLock that lost to another worker). Pure contention telemetry for
+	// the scaling experiment; it never affects answers.
+	ShardConflicts int64
 
 	// Backend decides final (non-screened) solves; nil means the built-in
 	// solver. Set before the first validation (typically right after New).
 	Backend Backend
 
 	// MaxCacheEntries/MaxCacheBytes bound the verdict cache; New sets the
-	// defaults above, and zero or negative values mean unbounded.
+	// defaults above, and zero or negative values mean unbounded. The bounds
+	// are split evenly across shards (see shard.go), so eviction order is
+	// per-shard LRU rather than global.
 	MaxCacheEntries int
 	MaxCacheBytes   int64
 
-	mu         sync.Mutex
-	cache      map[string]*list.Element // key → element holding *centry
-	lru        *list.List               // front = most recently used
-	cacheBytes int64
+	// CacheShards picks the verdict-cache stripe count before first use:
+	// 0 selects the default (16), 1 restores the single global-mutex layout
+	// (the pre-sharding baseline, used by the scaling experiment's A/B run
+	// and by tests that want exact global LRU order). Rounded up to a power
+	// of two. Ignored after the first validation.
+	CacheShards int
+
+	shardOnce sync.Once
+	shards    []*vshard
+
+	// rpool recycles replayer state (alias graph, term context, undo logs)
+	// across validations; see pool.go.
+	rpool sync.Pool
 
 	// screenHook, when non-nil, runs before each batch-screen push with the
 	// number of pushes made so far; tests use it to cancel mid-screen.
@@ -89,13 +103,12 @@ type verdict struct {
 }
 
 // New returns a Validator with the default cache bounds and the built-in
-// solver backend.
+// solver backend. The verdict-cache shard table is built lazily on first
+// use, so CacheShards can still be set after New.
 func New() *Validator {
 	return &Validator{
 		MaxCacheEntries: defaultMaxCacheEntries,
 		MaxCacheBytes:   defaultMaxCacheBytes,
-		cache:           make(map[string]*list.Element),
-		lru:             list.New(),
 	}
 }
 
@@ -112,32 +125,31 @@ func New() *Validator {
 // released; concurrent waiters of that entry still observe the conservative
 // Unknown (without the interrupted flag), which only ever keeps a bug.
 //
-// The cache is LRU-bounded by MaxCacheEntries/MaxCacheBytes. Eviction only
-// forgets verdicts — a later identical formula re-solves and re-caches — so
-// hit/miss semantics are unchanged apart from the extra misses; in-flight
-// entries (singleflight waiters pending) are never evicted.
+// The cache is LRU-bounded by MaxCacheEntries/MaxCacheBytes, split across
+// lock-striped shards (shard.go) so concurrent workers rarely contend; a key
+// always maps to one shard, keeping singleflight and counter exactness.
+// Eviction only forgets verdicts — a later identical formula re-solves and
+// re-caches — so hit/miss semantics are unchanged apart from the extra
+// misses; in-flight entries (singleflight waiters pending) are never evicted.
 func (v *Validator) solveCached(ctx *smt.Context, f smt.Formula, deadline time.Time, done <-chan struct{}) (res smt.Result, model smt.Model, hit, interrupted bool, evictions, disagreements int64) {
 	key := f.Key()
-	v.mu.Lock()
-	if v.cache == nil {
-		v.cache = make(map[string]*list.Element)
-		v.lru = list.New()
-	}
-	if elem, ok := v.cache[key]; ok {
-		v.lru.MoveToFront(elem)
+	s := v.shardFor(key)
+	v.lock(s)
+	if elem, ok := s.cache[key]; ok {
+		s.lru.MoveToFront(elem)
 		e := elem.Value.(*centry).v
-		v.mu.Unlock()
+		s.mu.Unlock()
 		<-e.ready
 		atomic.AddInt64(&v.CacheHits, 1)
 		return e.res, e.model, true, false, 0, 0
 	}
 	e := &verdict{ready: make(chan struct{})}
 	ent := &centry{key: key, bytes: int64(len(key)) + 64, v: e}
-	elem := v.lru.PushFront(ent)
-	v.cache[key] = elem
-	v.cacheBytes += ent.bytes
-	evictions = v.evictLocked()
-	v.mu.Unlock()
+	elem := s.lru.PushFront(ent)
+	s.cache[key] = elem
+	s.bytes += ent.bytes
+	evictions = v.evictLocked(s)
+	s.mu.Unlock()
 
 	be := v.Backend
 	if be == nil {
@@ -148,54 +160,20 @@ func (v *Validator) solveCached(ctx *smt.Context, f smt.Formula, deadline time.T
 	if disagreed {
 		disagreements = 1
 	}
-	v.mu.Lock()
+	v.lock(s)
 	if interrupted {
 		// Drop the timing artifact before releasing waiters.
-		v.removeLocked(elem)
+		v.removeLocked(s, elem)
 	} else if n := int64(len(e.model)) * 24; n > 0 {
 		ent.bytes += n
-		v.cacheBytes += n
-		evictions += v.evictLocked()
+		s.bytes += n
+		evictions += v.evictLocked(s)
 	}
-	v.mu.Unlock()
+	s.mu.Unlock()
 	close(e.ready)
 	atomic.AddInt64(&v.CacheMisses, 1)
 	atomic.AddInt64(&v.CacheEvictions, evictions)
 	return e.res, e.model, false, interrupted, evictions, disagreements
-}
-
-// evictLocked drops least-recently-used ready entries until the cache fits
-// its bounds again, returning how many it dropped. Callers hold v.mu.
-func (v *Validator) evictLocked() int64 {
-	var n int64
-	over := func() bool {
-		return (v.MaxCacheEntries > 0 && v.lru.Len() > v.MaxCacheEntries) ||
-			(v.MaxCacheBytes > 0 && v.cacheBytes > v.MaxCacheBytes)
-	}
-	for elem := v.lru.Back(); elem != nil && over(); {
-		prev := elem.Prev()
-		ent := elem.Value.(*centry)
-		select {
-		case <-ent.v.ready:
-			v.removeLocked(elem)
-			n++
-		default:
-			// In-flight: a waiter is counting on this exact entry's
-			// singleflight; skip it and try the next-oldest.
-		}
-		elem = prev
-	}
-	return n
-}
-
-// removeLocked unlinks one cache entry. Callers hold v.mu.
-func (v *Validator) removeLocked(elem *list.Element) {
-	ent := elem.Value.(*centry)
-	if _, ok := v.cache[ent.key]; ok && v.cache[ent.key] == elem {
-		delete(v.cache, ent.key)
-	}
-	v.lru.Remove(elem)
-	v.cacheBytes -= ent.bytes
 }
 
 // Install wires the validator into an engine config: the per-candidate
@@ -262,9 +240,11 @@ func newReplayer(mode core.Mode) *replayer {
 }
 
 func (v *Validator) validateOne(ctx context.Context, bug *core.PossibleBug, path []core.PathStep, mode core.Mode) core.ValidationOutcome {
-	r := newReplayer(mode)
+	r := v.acquireReplayer(mode)
 	r.replay(bug, path)
-	return v.solveReplayed(ctx, r)
+	out := v.solveReplayed(ctx, r)
+	v.releaseReplayer(r)
+	return out
 }
 
 // solveReplayed runs the cached/backed solve over an already-replayed path

@@ -84,15 +84,20 @@ type Config struct {
 	// (default 1, the paper's rule; higher values trade time for coverage
 	// of multi-iteration bugs, §7).
 	LoopUnroll int
-	// Workers > 1 analyzes entry functions concurrently with that many
-	// engines (0 or 1 = sequential). Findings are identical to a
-	// sequential run; only wall-clock changes.
+	// Workers sets Stage-1 concurrency: N > 1 analyzes entry functions with
+	// N concurrent engines, 1 forces the sequential engine, and 0 or
+	// negative (the default) selects GOMAXPROCS. Findings are identical to
+	// a sequential run; only wall-clock changes. The same convention holds
+	// everywhere a worker count appears (cmd flags, core.RunParallel,
+	// ValidateWorkers): <= 0 means GOMAXPROCS, 1 means sequential.
 	Workers int
 	// ValidateWorkers sets how many concurrent Stage-2 validation workers
-	// the pipelined scheduler uses when Workers or ValidateWorkers exceeds
-	// 1 (0 selects GOMAXPROCS once the pipeline is active). Candidate bugs
-	// stream into the validator pool while path exploration is still
-	// running, overlapping SMT solving with Stage 1.
+	// the pipelined scheduler uses: 0 or negative selects GOMAXPROCS, 1
+	// forces single-threaded validation. It applies whenever the pipelined
+	// scheduler runs (any non-sequential Workers value, an incremental
+	// cache, timeouts, or a cancellable context). Candidate bugs stream
+	// into the validator pool while path exploration is still running,
+	// overlapping SMT solving with Stage 1.
 	ValidateWorkers int
 	// WitnessPaths renders each bug's witness path (source lines with
 	// branch directions) into Bug.Witness.
@@ -293,9 +298,13 @@ func AnalyzeSourcesCtx(ctx context.Context, name string, sources map[string]stri
 	var res *core.Result
 	// Per-entry isolation (timeouts, retries) lives in the parallel
 	// scheduler's worker loop, so isolated configs route through it even
-	// with one worker.
+	// with one worker. Workers/ValidateWorkers use the unified convention
+	// (<= 0 = GOMAXPROCS, 1 = sequential), so only an explicit 1 on both
+	// stages bypasses the pipeline; RunParallelCtx itself falls back to the
+	// sequential engine when the resolved counts come out 1/1 with nothing
+	// to overlap, so single-CPU default runs stay on the sequential path.
 	isolated := cfg.EntryTimeout > 0 || cfg.RunTimeout > 0
-	if cfg.Workers > 1 || cfg.ValidateWorkers > 1 || ec.Cache != nil || isolated || ctx.Done() != nil {
+	if cfg.Workers != 1 || cfg.ValidateWorkers != 1 || ec.Cache != nil || isolated || ctx.Done() != nil {
 		res = core.RunParallelCtx(ctx, mod, ec, cfg.Workers)
 	} else {
 		res = core.NewEngine(mod, ec).RunCtx(ctx)
