@@ -33,14 +33,20 @@
 //	-memprofile FILE       write an allocation profile at exit to FILE
 //	-blockprofile FILE     write a goroutine blocking profile at exit to FILE
 //	-mutexprofile FILE     write a mutex contention profile at exit to FILE
+//
+// Ctrl-C (or SIGTERM) cancels the analysis gracefully: the partial result is
+// printed with its "incomplete analysis" section and a clean run exits 130.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	pata "repro"
 	"repro/internal/profiles"
@@ -106,32 +112,50 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Ctrl-C / SIGTERM cancels the analysis through the engine's context
+	// path: the run stops at the next bounded unit of work and the partial
+	// result — with its "incomplete analysis" section — is still printed.
+	// A second signal kills the process the default way (stop() restores
+	// default handling once the analysis returns).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+
 	var (
 		res *pata.Result
 		err error
 	)
 	switch {
 	case *dir != "":
-		res, err = pata.AnalyzeDir(*dir, cfg)
+		res, err = pata.AnalyzeDirCtx(ctx, *dir, cfg)
 	case flag.NArg() > 0:
-		res, err = pata.AnalyzeFiles(flag.Args(), cfg)
+		res, err = pata.AnalyzeFilesCtx(ctx, flag.Args(), cfg)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: pata [flags] file.c ...  |  pata -dir DIR")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	interrupted := ctx.Err() != nil
+	stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pata:", err)
 		os.Exit(1)
 	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "pata: interrupted, reporting partial results")
+	}
 
-	// exit wraps os.Exit so the requested profiles are written first.
+	// exit wraps os.Exit so the requested profiles are written first. An
+	// interrupted clean run exits 130 (128+SIGINT convention) — "no bugs"
+	// from a partial analysis is not a clean bill; bugs found still exit 3
+	// (the finding stands even if the run was cut short).
 	exit := func(code int) {
 		if werr := prof.Stop(); werr != nil {
 			fmt.Fprintln(os.Stderr, "pata:", werr)
 			if code == 0 {
 				code = 1
 			}
+		}
+		if interrupted && code == 0 {
+			code = 130
 		}
 		os.Exit(code)
 	}

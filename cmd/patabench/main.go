@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	patabench -exp table4|table5|table6|table7|table8|fig11|fpaudit|cases|fsm|pruning|summaries|degrade|all
+//	patabench -exp table4|table5|table6|table7|table8|fig11|fpaudit|cases|fsm|pruning|summaries|degrade|daemon|all
 //	patabench -exp bench [-bench-out BENCH_pipeline.json]
 //	patabench -exp incremental [-incremental-out BENCH_incremental.json]
 //	patabench -exp validate [-validate-out BENCH_validate.json]
@@ -19,16 +19,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/exp"
 	"repro/internal/profiles"
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table4, table5, table6, table7, table8, fig11, fpaudit, extensions, cases, fsm, pruning, summaries, degrade, bench, incremental, validate, scaling, or all")
+	which := flag.String("exp", "all", "experiment: table4, table5, table6, table7, table8, fig11, fpaudit, extensions, cases, fsm, pruning, summaries, degrade, daemon, bench, incremental, validate, scaling, or all")
 	benchOut := flag.String("bench-out", "BENCH_pipeline.json", "output path for -exp bench")
 	incOut := flag.String("incremental-out", "BENCH_incremental.json", "output path for -exp incremental")
 	valOut := flag.String("validate-out", "BENCH_validate.json", "output path for -exp validate")
@@ -38,6 +41,14 @@ func main() {
 	blockProfile := flag.String("blockprofile", "", "write a goroutine blocking profile (channel/select waits) at exit to this file")
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile at exit to this file")
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancels the running experiment through the engine's
+	// context path; the run loop then stops between experiments and exits
+	// 130 without writing a partial BENCH json. A second signal kills hard
+	// (NotifyContext restores default handling after the first).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	exp.SetBaseContext(ctx)
 
 	prof := &profiles.Set{CPU: *cpuProfile, Mem: *memProfile, Block: *blockProfile, Mutex: *mutexProfile}
 	if err := prof.Start(); err != nil {
@@ -57,12 +68,25 @@ func main() {
 		}
 		os.Exit(1)
 	}
+	interrupted := func() {
+		fmt.Fprintln(os.Stderr, "patabench: interrupted")
+		if perr := prof.Stop(); perr != nil {
+			fmt.Fprintln(os.Stderr, "patabench:", perr)
+		}
+		os.Exit(130)
+	}
 	run := func(name string, f func() error) {
 		if *which != "all" && *which != name {
 			return
 		}
 		if err := f(); err != nil {
 			fail(name, err)
+		}
+		// A cancelled experiment returns a partial (well-formed) table, not
+		// an error; stop the sequence here rather than printing the rest of
+		// the suite against a dead context.
+		if ctx.Err() != nil {
+			interrupted()
 		}
 		fmt.Println()
 	}
@@ -80,6 +104,7 @@ func main() {
 	run("pruning", func() error { _, err := exp.PruningTable(os.Stdout); return err })
 	run("summaries", func() error { _, err := exp.SummaryTable(os.Stdout); return err })
 	run("degrade", func() error { _, err := exp.DegradeTable(os.Stdout); return err })
+	run("daemon", func() error { _, err := exp.DaemonTable(os.Stdout); return err })
 
 	// bench, incremental, validate and scaling write BENCH_*.json files, so
 	// they only run when asked for explicitly, never under -exp all.
@@ -123,5 +148,8 @@ func main() {
 		if err := exp.ScalingSmoke(os.Stdout); err != nil {
 			fail("scaling-smoke", err)
 		}
+	}
+	if ctx.Err() != nil {
+		interrupted()
 	}
 }

@@ -1,0 +1,30 @@
+// Command patad is the resident PATA analysis daemon: it loads a mini-C
+// module once and serves analysis over a newline-delimited JSON protocol
+// on stdin/stdout and/or a Unix socket, keeping the content-addressed
+// incremental cache warm across requests.
+//
+// Usage:
+//
+//	patad [flags] file.c [file2.c ...]
+//	patad [flags] -dir path/to/sources -socket /tmp/patad.sock
+//
+// Protocol (one JSON object per line; see internal/patad):
+//
+//	{"op":"analyze","id":"a1","timeout_ms":5000}
+//	{"op":"invalidate","id":"i1","sources":{"f.c":"..."},"remove":["g.c"]}
+//	{"op":"status","id":"s1"}   {"op":"ping"}   {"op":"shutdown"}
+//
+// SIGTERM (or the shutdown op) drains gracefully and exits 0; with
+// -cache-dir even a kill -9 mid-run restarts warm from the checksummed
+// capsule store.
+package main
+
+import (
+	"os"
+
+	"repro/internal/patad"
+)
+
+func main() {
+	os.Exit(patad.Main(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

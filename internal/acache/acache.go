@@ -8,18 +8,23 @@
 // half-written capsule under a valid key), every read verifies a checksum
 // frame and treats any mismatch — truncation, bit rot, a format-version
 // bump — as a miss that also deletes the bad file, and Save errors are
-// swallowed (a full disk degrades to cold analysis, never to a failed run).
-// An optional byte cap evicts least-recently-used capsules after each
-// write; Load touches the file mtime so warm entries survive.
+// swallowed (a full disk degrades to cold analysis, never to a failed run):
+// the first failed write warns once and turns every further write off for
+// the run, so a disk that fills mid-run costs one syscall failure, not one
+// per entry. An optional byte cap evicts least-recently-used capsules after
+// each write; Load touches the file mtime so warm entries survive.
 package acache
 
 import (
 	"encoding/binary"
+	"fmt"
 	"hash/fnv"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -45,6 +50,20 @@ const storeStripes = 16
 type Store struct {
 	dir      string
 	maxBytes int64
+
+	// WarnLog receives the store's single write-failure warning (see
+	// disableWrites); nil selects os.Stderr. Set it before the first Save
+	// if at all — it is read without synchronization after that.
+	WarnLog io.Writer
+
+	// writesOff flips to true on the first failed capsule write and stays
+	// true for the rest of the run: open-time writability probing cannot
+	// see a disk filling up or a permission flip mid-run, and retrying a
+	// dead disk on every Save would burn a syscall round-trip per entry
+	// for nothing. Loads are unaffected — an unwritable store can still be
+	// read — and the analysis itself never observes the failure.
+	writesOff atomic.Bool
+	warnOnce  sync.Once
 
 	// stripes[i] guards the keys hashing to stripe i. Filesystem renames are
 	// already atomic, so the stripe lock only serializes same-key writers and
@@ -121,15 +140,28 @@ func (s *Store) Load(key string) ([]byte, bool) {
 // The frame encode and temp-file write run outside any lock (they touch no
 // shared state — the temp name is unique), so parallel workers saving
 // different keys only serialize on the rename under their key's stripe.
+// A write that fails mid-run (disk full, directory removed, permission
+// flip after Open) warns once, disables every further Save for this run,
+// and never surfaces to the analysis — the cache degrades to read-only (or
+// to nothing) rather than degrading the run.
 func (s *Store) Save(key string, payload []byte) {
+	if s.writesOff.Load() {
+		return
+	}
 	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
 	if err != nil {
+		s.disableWrites(err)
 		return
 	}
 	_, werr := tmp.Write(encodeFrame(payload))
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
+		if werr != nil {
+			s.disableWrites(werr)
+		} else {
+			s.disableWrites(cerr)
+		}
 		return
 	}
 	mu := s.stripe(key)
@@ -138,9 +170,44 @@ func (s *Store) Save(key string, payload []byte) {
 	mu.Unlock()
 	if err != nil {
 		os.Remove(tmp.Name())
+		s.disableWrites(err)
 		return
 	}
 	s.evict()
+}
+
+// disableWrites records a failed capsule write: one warning, then silence —
+// every later Save is a no-op for the rest of the run.
+func (s *Store) disableWrites(err error) {
+	s.writesOff.Store(true)
+	s.warnOnce.Do(func() {
+		w := s.WarnLog
+		if w == nil {
+			w = os.Stderr
+		}
+		fmt.Fprintf(w, "acache: capsule write failed, disabling cache writes for this run: %v\n", err)
+	})
+}
+
+// WritesDisabled reports whether a failed write has switched the store to
+// read-only for this run.
+func (s *Store) WritesDisabled() bool { return s.writesOff.Load() }
+
+// Flush forces the backing directory's metadata to stable storage: every
+// capsule already renamed into place survives an OS crash after Flush
+// returns. Save deliberately does not fsync per capsule (it is on the
+// analysis hot path, and a lost cache entry only costs a re-analysis); a
+// resident host calls Flush at its quiescent points — graceful drain — so
+// the warm-restart story does not depend on the kernel's writeback timing.
+// Process crashes (kill -9) need no Flush at all: renamed files are visible
+// to the next process regardless.
+func (s *Store) Flush() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // evict enforces the byte cap. At most one directory scan runs at a time; a

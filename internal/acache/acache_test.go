@@ -225,3 +225,69 @@ func TestOpenUnwritableDirFails(t *testing.T) {
 		t.Fatal("Open of a read-only directory succeeded")
 	}
 }
+
+// TestWriteFailureDisablesWritesOnce: the first failed capsule write warns
+// exactly once on WarnLog, flips the store to read-only for the run, and
+// later Saves are silent no-ops — while Loads of already-stored capsules
+// keep hitting. The failure is injected by swapping the store's directory
+// for a regular file (CreateTemp then fails for any user, including root,
+// whom permission bits would not stop).
+func TestWriteFailureDisablesWritesOnce(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warnings strings.Builder
+	s.WarnLog = &warnings
+	s.Save("good", []byte("before the failure"))
+	if s.WritesDisabled() {
+		t.Fatal("writes disabled before any failure")
+	}
+
+	realDir := s.dir
+	s.dir = filepath.Join(dir, "good"+ext) // a regular file: CreateTemp fails
+	s.Save("doomed", []byte("x"))
+	if !s.WritesDisabled() {
+		t.Fatal("failed Save did not disable writes")
+	}
+	s.Save("also-doomed", []byte("y"))
+	s.dir = realDir
+	s.Save("post-restore", []byte("z")) // still off: the run is poisoned
+
+	if got := strings.Count(warnings.String(), "disabling cache writes"); got != 1 {
+		t.Fatalf("warned %d times, want exactly once:\n%s", got, warnings.String())
+	}
+	if _, ok := s.Load("post-restore"); ok {
+		t.Fatal("Save went through after writes were disabled")
+	}
+	// Reads are unaffected: the store degrades to read-only, not to dead.
+	if got, ok := s.Load("good"); !ok || string(got) != "before the failure" {
+		t.Fatalf("Load after write failure = %q, %v", got, ok)
+	}
+}
+
+// TestFlushSyncsDirectory: Flush succeeds on a live store (fsyncing the
+// directory so renamed capsules survive an OS crash) and reports an error
+// once the directory is gone — the drain path logs it rather than masking a
+// torn-down cache.
+func TestFlushSyncsDirectory(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Save("k", []byte("v"))
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush on a live store: %v", err)
+	}
+	if got, ok := s.Load("k"); !ok || string(got) != "v" {
+		t.Fatalf("Load after Flush = %q, %v", got, ok)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err == nil {
+		t.Fatal("Flush of a removed directory reported success")
+	}
+}

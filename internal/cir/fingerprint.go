@@ -48,6 +48,22 @@ func (fn *Function) Fingerprint() uint64 {
 	return h
 }
 
+// AdoptFingerprint copies old's memoized fingerprint onto fn, skipping the
+// recompute. It is only sound when fn is a re-lowering of the exact same
+// source text as old — the caller (patad's invalidation path, which tracks
+// which FILES changed) vouches for that; this function only sanity-checks
+// the identity facts it can see. It returns false — and leaves fn to be
+// fingerprinted from scratch — when old carries no memo yet or the
+// name/file identity does not line up.
+func (fn *Function) AdoptFingerprint(old *Function) bool {
+	if old == nil || old.fp == 0 || old.Name != fn.Name || old.File != fn.File ||
+		old.Static != fn.Static || len(old.Blocks) != len(fn.Blocks) {
+		return false
+	}
+	fn.fp = old.fp
+	return true
+}
+
 func boolBits(b bool) uint64 {
 	if b {
 		return 1

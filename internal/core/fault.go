@@ -45,13 +45,16 @@ const (
 // budgets, r > 0 the retry rung that completed after the initial failure,
 // and -1 that no attempt completed (the entry's reported candidates, if
 // any, are the final attempt's partial findings).
+// The JSON tags are a stable contract: `cmd/pata -json` and the patad
+// protocol both serialize these records, and clients key on the lowercase
+// names (see TestIncompleteJSONShape).
 type IncompleteEntry struct {
-	Entry  string
-	Reason IncompleteReason
-	Rung   int
+	Entry  string           `json:"entry"`
+	Reason IncompleteReason `json:"reason"`
+	Rung   int              `json:"rung"`
 	// Detail carries a human-readable extra — the contained panic value —
 	// and is empty otherwise.
-	Detail string
+	Detail string `json:"detail,omitempty"`
 }
 
 // retryCount resolves MaxRetries: 0 selects the default of one ladder

@@ -1,0 +1,444 @@
+package exp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	pata "repro"
+	"repro/internal/core"
+	"repro/internal/minicc"
+	"repro/internal/oscorpus"
+	"repro/internal/patad"
+	"repro/internal/report"
+)
+
+// DaemonRow is one phase of the resident-service experiment.
+type DaemonRow struct {
+	Phase    string
+	Requests int
+	OK       int
+	Shed     int
+	// CacheHits/CacheMisses are summed over the phase's successful
+	// analyses (-1 when the phase performs none).
+	CacheHits   int64
+	CacheMisses int64
+	// Frontier is the invalidation frontier size the daemon reported
+	// (-1 for phases without an invalidate).
+	Frontier int
+	// Identical reports whether every successful analysis of the phase
+	// rendered a report byte-identical to the phase's CLI oracle.
+	Identical   bool
+	WallClockMS float64
+}
+
+// cliRender reproduces what cmd/pata prints for a result (the daemon's
+// Report field promises byte-identity with it).
+func cliRender(res *pata.Result) string {
+	var b strings.Builder
+	if len(res.Bugs) == 0 {
+		b.WriteString("no bugs found\n")
+		report.WriteIncomplete(&b, res.Incomplete)
+	} else {
+		fmt.Fprint(&b, res)
+	}
+	return b.String()
+}
+
+// daemonClient is one NDJSON session against the experiment's socket.
+type daemonClient struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+}
+
+func dialDaemonSocket(path string) (*daemonClient, error) {
+	var lastErr error
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err := net.Dial("unix", path)
+		if err == nil {
+			sc := bufio.NewScanner(conn)
+			sc.Buffer(make([]byte, 64<<10), 64<<20)
+			return &daemonClient{conn: conn, sc: sc}, nil
+		}
+		lastErr = err
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil, lastErr
+}
+
+func (c *daemonClient) close() { c.conn.Close() }
+
+func (c *daemonClient) send(req patad.Request) error {
+	line, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	_, err = c.conn.Write(append(line, '\n'))
+	return err
+}
+
+// collect reads n responses (responses to concurrent requests arrive in
+// completion order) and returns them keyed by request id.
+func (c *daemonClient) collect(n int) (map[string]patad.Response, error) {
+	out := make(map[string]patad.Response, n)
+	for len(out) < n {
+		if !c.sc.Scan() {
+			return out, fmt.Errorf("session closed after %d of %d responses (err: %v)", len(out), n, c.sc.Err())
+		}
+		var resp patad.Response
+		if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+			return out, err
+		}
+		out[resp.ID] = resp
+	}
+	return out, nil
+}
+
+func (c *daemonClient) call(req patad.Request) (patad.Response, error) {
+	if err := c.send(req); err != nil {
+		return patad.Response{}, err
+	}
+	m, err := c.collect(1)
+	if err != nil {
+		return patad.Response{}, err
+	}
+	return m[req.ID], nil
+}
+
+// daemonCorpus picks the smallest corpus: the experiment analyzes it many
+// times (cold, warm fan-in, storm, recovery), so the smallest keeps the
+// phase wall-clocks in CI territory.
+func daemonCorpus() *oscorpus.Corpus {
+	all := Corpora()
+	best := all[0]
+	size := func(c *oscorpus.Corpus) int {
+		n := 0
+		for _, src := range c.Sources {
+			n += len(src)
+		}
+		return n
+	}
+	for _, c := range all[1:] {
+		if size(c) < size(best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// DaemonTable exercises the patad resident service end to end, in process
+// but over a real Unix socket: a cold analyze (CLI-identical report), a
+// concurrent warm fan-in (every entry replayed from the capsule store), an
+// invalidation whose frontier must equal the static expected-miss set, a
+// fault-injection storm against tight admission limits (the daemon sheds
+// with backoff hints and never deadlocks), and a post-storm recovery
+// request whose report must again be byte-identical to the CLI oracle.
+func DaemonTable(w io.Writer) ([]DaemonRow, error) {
+	c := daemonCorpus()
+
+	cacheDir, err := os.MkdirTemp("", "pata-daemon-cache-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(cacheDir)
+	sockDir, err := os.MkdirTemp("", "pd-*") // short path: AF_UNIX limit
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(sockDir)
+	socket := filepath.Join(sockDir, "s")
+
+	// The storm switch: while on, every entry attempt crawls (per-step
+	// sleep), so tight admission limits + request deadlines do the talking.
+	var storm atomic.Bool
+	hook := func(entry string, rung int) *core.FaultSpec {
+		if storm.Load() {
+			return &core.FaultSpec{Slow: 2 * time.Millisecond}
+		}
+		return nil
+	}
+
+	srv, err := patad.New(patad.Options{
+		Config:      pata.Config{CacheDir: cacheDir},
+		Sources:     c.Sources,
+		MaxInFlight: 2,
+		MaxQueue:    2,
+		Stderr:      io.Discard,
+		FaultHook:   hook,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Shutdown()
+	go srv.ServeUnix(socket)
+
+	oracle := func(sources map[string]string) (string, error) {
+		res, err := pata.AnalyzeSources("program", sources, pata.Config{})
+		if err != nil {
+			return "", err
+		}
+		return cliRender(res), nil
+	}
+	coldWant, err := oracle(c.Sources)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []DaemonRow
+	emit := func(r DaemonRow) {
+		rows = append(rows, r)
+	}
+
+	cl, err := dialDaemonSocket(socket)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.close()
+
+	// Phase 1: cold. Every entry misses, report matches the CLI.
+	start := time.Now()
+	cold, err := cl.call(patad.Request{ID: "cold", Op: patad.OpAnalyze})
+	if err != nil {
+		return nil, err
+	}
+	if !cold.OK {
+		return nil, fmt.Errorf("daemon: cold analyze failed: %s", cold.Error)
+	}
+	emit(DaemonRow{
+		Phase: "cold", Requests: 1, OK: 1,
+		CacheHits: cold.Stats.CacheEntriesHit, CacheMisses: cold.Stats.CacheEntriesMiss,
+		Frontier: -1, Identical: cold.Report == coldWant,
+		WallClockMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+
+	// Phase 2: warm fan-in — two sessions, two requests each, concurrently.
+	// Every request replays the full entry set from the store.
+	start = time.Now()
+	const warmSessions, warmPerSession = 2, 2
+	warmResps := make([]map[string]patad.Response, warmSessions)
+	warmErrs := make([]error, warmSessions)
+	var wg sync.WaitGroup
+	for i := 0; i < warmSessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wc, err := dialDaemonSocket(socket)
+			if err != nil {
+				warmErrs[i] = err
+				return
+			}
+			defer wc.close()
+			for j := 0; j < warmPerSession; j++ {
+				if err := wc.send(patad.Request{ID: fmt.Sprintf("w%d-%d", i, j), Op: patad.OpAnalyze}); err != nil {
+					warmErrs[i] = err
+					return
+				}
+			}
+			warmResps[i], warmErrs[i] = wc.collect(warmPerSession)
+		}(i)
+	}
+	wg.Wait()
+	warmRow := DaemonRow{Phase: "warm", Frontier: -1, Identical: true}
+	for i := 0; i < warmSessions; i++ {
+		if warmErrs[i] != nil {
+			return nil, warmErrs[i]
+		}
+		for _, resp := range warmResps[i] {
+			warmRow.Requests++
+			if !resp.OK {
+				return nil, fmt.Errorf("daemon: warm analyze failed: %s", resp.Error)
+			}
+			warmRow.OK++
+			warmRow.CacheHits += resp.Stats.CacheEntriesHit
+			warmRow.CacheMisses += resp.Stats.CacheEntriesMiss
+			warmRow.Identical = warmRow.Identical && resp.Report == coldWant
+		}
+	}
+	warmRow.WallClockMS = float64(time.Since(start).Microseconds()) / 1000
+	emit(warmRow)
+
+	// Phase 3: invalidate. Mutate 2 functions; the daemon's frontier must
+	// equal the static expected-miss set, and the next analyze must miss
+	// exactly the frontier while matching the CLI on the mutated sources.
+	mutatedSources, mutatedFuncs := oscorpus.Mutate(c.Sources, 2, 71)
+	changed := make(map[string]string)
+	for f, src := range mutatedSources {
+		if c.Sources[f] != src {
+			changed[f] = src
+		}
+	}
+	mutMod, err := minicc.LowerAll(c.Spec.Name, mutatedSources)
+	if err != nil {
+		return nil, err
+	}
+	wantFrontier := expectedMisses(mutMod, mutatedFuncs)
+	mutWant, err := oracle(mutatedSources)
+	if err != nil {
+		return nil, err
+	}
+
+	start = time.Now()
+	inv, err := cl.call(patad.Request{ID: "inv", Op: patad.OpInvalidate, Sources: changed})
+	if err != nil {
+		return nil, err
+	}
+	if !inv.OK {
+		return nil, fmt.Errorf("daemon: invalidate failed: %s", inv.Error)
+	}
+	if len(inv.Frontier) != wantFrontier {
+		return nil, fmt.Errorf("daemon: frontier %d != expected misses %d (frontier %v, mutated %v)",
+			len(inv.Frontier), wantFrontier, inv.Frontier, mutatedFuncs)
+	}
+	postInv, err := cl.call(patad.Request{ID: "postinv", Op: patad.OpAnalyze})
+	if err != nil {
+		return nil, err
+	}
+	if !postInv.OK {
+		return nil, fmt.Errorf("daemon: post-invalidate analyze failed: %s", postInv.Error)
+	}
+	if got := postInv.Stats.CacheEntriesMiss; got != int64(wantFrontier) {
+		return nil, fmt.Errorf("daemon: post-invalidate misses %d != frontier %d", got, wantFrontier)
+	}
+	emit(DaemonRow{
+		Phase: "invalidate", Requests: 2, OK: 2,
+		CacheHits: postInv.Stats.CacheEntriesHit, CacheMisses: postInv.Stats.CacheEntriesMiss,
+		Frontier: len(inv.Frontier), Identical: postInv.Report == mutWant,
+		WallClockMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+
+	// Phase 4: fault-injection storm. A second invalidation first empties
+	// part of the cache — cache hits replay without touching the fault
+	// ladder, so a storm against a fully warm store would finish in
+	// milliseconds and never stress admission. With live entries to
+	// re-analyze, 12 concurrent requests against MaxInFlight=2/MaxQueue=2
+	// while every live step crawls: the overflow is shed with
+	// retry_after_ms hints; admitted requests deadline out into well-formed
+	// partial responses. The phase completing at all is the no-deadlock
+	// claim — every request gets exactly one response.
+	stormSources, _ := oscorpus.Mutate(mutatedSources, 4, 72)
+	stormChanged := make(map[string]string)
+	for f, src := range stormSources {
+		if mutatedSources[f] != src {
+			stormChanged[f] = src
+		}
+	}
+	stormWant, err := oracle(stormSources)
+	if err != nil {
+		return nil, err
+	}
+	if resp, err := cl.call(patad.Request{ID: "inv2", Op: patad.OpInvalidate, Sources: stormChanged}); err != nil {
+		return nil, err
+	} else if !resp.OK {
+		return nil, fmt.Errorf("daemon: storm invalidate failed: %s", resp.Error)
+	}
+	storm.Store(true)
+	start = time.Now()
+	const stormSessions, stormPerSession = 4, 3
+	stormRow := DaemonRow{Phase: "storm", Frontier: -1, CacheHits: -1, CacheMisses: -1, Identical: true}
+	stormResps := make([]map[string]patad.Response, stormSessions)
+	stormErrs := make([]error, stormSessions)
+	var swg sync.WaitGroup
+	for i := 0; i < stormSessions; i++ {
+		swg.Add(1)
+		go func(i int) {
+			defer swg.Done()
+			sc, err := dialDaemonSocket(socket)
+			if err != nil {
+				stormErrs[i] = err
+				return
+			}
+			defer sc.close()
+			for j := 0; j < stormPerSession; j++ {
+				if err := sc.send(patad.Request{
+					ID: fmt.Sprintf("s%d-%d", i, j), Op: patad.OpAnalyze, TimeoutMs: 1500,
+				}); err != nil {
+					stormErrs[i] = err
+					return
+				}
+			}
+			stormResps[i], stormErrs[i] = sc.collect(stormPerSession)
+		}(i)
+	}
+	swg.Wait()
+	storm.Store(false)
+	for i := 0; i < stormSessions; i++ {
+		if stormErrs[i] != nil {
+			return nil, stormErrs[i]
+		}
+		for _, resp := range stormResps[i] {
+			stormRow.Requests++
+			switch {
+			case resp.OK:
+				stormRow.OK++
+			case resp.Error == "overloaded":
+				stormRow.Shed++
+				if resp.RetryAfterMs <= 0 {
+					return nil, fmt.Errorf("daemon: shed response without backoff hint: %+v", resp)
+				}
+			default:
+				return nil, fmt.Errorf("daemon: unexpected storm response: %+v", resp)
+			}
+		}
+	}
+	stormRow.WallClockMS = float64(time.Since(start).Microseconds()) / 1000
+	emit(stormRow)
+
+	// Phase 5: recovery. Storm off, same session as the start: the report
+	// must again be byte-identical to the CLI oracle on the current
+	// (storm-mutated) sources — degraded or cancelled storm attempts must
+	// have left no residue in the capsule store.
+	start = time.Now()
+	rec, err := cl.call(patad.Request{ID: "rec", Op: patad.OpAnalyze})
+	if err != nil {
+		return nil, err
+	}
+	if !rec.OK {
+		return nil, fmt.Errorf("daemon: recovery analyze failed: %s", rec.Error)
+	}
+	if len(rec.Incomplete) != 0 {
+		return nil, fmt.Errorf("daemon: recovery left incomplete entries: %+v", rec.Incomplete)
+	}
+	emit(DaemonRow{
+		Phase: "recovery", Requests: 1, OK: 1,
+		CacheHits: rec.Stats.CacheEntriesHit, CacheMisses: rec.Stats.CacheEntriesMiss,
+		Frontier: -1, Identical: rec.Report == stormWant,
+		WallClockMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+
+	fmt.Fprintf(w, "Resident service (patad) on %s: cold/warm/invalidate/storm/recovery over a Unix socket\n", c.Spec.Name)
+	t := &report.Table{Header: []string{
+		"Phase", "Requests", "OK", "Shed", "Cache hits", "Cache misses", "Frontier", "CLI-identical", "Wall",
+	}}
+	cell := func(v int64) string {
+		if v < 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d", v)
+	}
+	for _, r := range rows {
+		t.AddRow(r.Phase, fmt.Sprintf("%d", r.Requests), fmt.Sprintf("%d", r.OK),
+			fmt.Sprintf("%d", r.Shed), cell(r.CacheHits), cell(r.CacheMisses),
+			cell(int64(r.Frontier)), fmt.Sprintf("%v", r.Identical),
+			fmtDuration(time.Duration(r.WallClockMS*float64(time.Millisecond))))
+	}
+	t.Write(w)
+
+	for _, r := range rows {
+		if !r.Identical {
+			return rows, fmt.Errorf("daemon: phase %q report not CLI-identical", r.Phase)
+		}
+	}
+	if stormRow.Shed == 0 {
+		return rows, fmt.Errorf("daemon: storm shed nothing — admission limits never engaged")
+	}
+	return rows, nil
+}

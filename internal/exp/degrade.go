@@ -101,7 +101,7 @@ func DegradeTable(w io.Writer) ([]DegradeRow, error) {
 		cfg := PATAConfig()
 		cfg.EntryTimeout = time.Second
 		cfg.FaultHook = sc.hook
-		res := core.RunParallel(mod, cfg, 0)
+		res := core.RunParallelCtx(baseCtx, mod, cfg, 0)
 		if sc.hook == nil {
 			baseline = healthySigs(res)
 		}

@@ -66,7 +66,7 @@ func incRun(name string, sources map[string]string, cache core.EntryCache) (*cor
 	}
 	cfg := PATAConfig()
 	cfg.Cache = cache
-	res := core.RunParallel(mod, cfg, 4)
+	res := core.RunParallelCtx(baseCtx, mod, cfg, 4)
 	var sb strings.Builder
 	report.WriteBugs(&sb, res.Bugs)
 	return res, mod, sb.String(), nil

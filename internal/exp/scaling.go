@@ -139,7 +139,7 @@ func scalingRow(c *oscorpus.Corpus, rounds int, variants []string, workerCounts 
 			}
 			cfg, v := scalingConfig(cell.variant, cell.workers)
 			start := time.Now()
-			res := core.RunParallel(mod, cfg, cell.workers)
+			res := core.RunParallelCtx(baseCtx, mod, cfg, cell.workers)
 			elapsed := time.Since(start)
 			run := &ToolRun{
 				Tool:    "pata-scaling",

@@ -532,7 +532,7 @@ func Cases(w io.Writer) ([]CaseResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := core.NewEngine(mod, PATAConfig()).Run()
+		res := core.NewEngine(mod, PATAConfig()).RunCtx(baseCtx)
 		detected, spurious := 0, 0
 		for _, b := range res.Bugs {
 			pos := b.BugInstr.Position()

@@ -7,6 +7,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,6 +21,21 @@ import (
 	"repro/internal/pathval"
 	"repro/internal/typestate"
 )
+
+// baseCtx is the context every experiment's engine runs under. It defaults
+// to Background; cmd/patabench installs its signal context so Ctrl-C
+// cancels the current experiment through the engine's cancellation path
+// instead of requiring a hard kill mid-table.
+var baseCtx = context.Background()
+
+// SetBaseContext installs the context experiments run their engines under.
+// Call before running experiments; not safe concurrently with them.
+func SetBaseContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	baseCtx = ctx
+}
 
 // ToolRun is one tool's outcome on one corpus.
 type ToolRun struct {
@@ -52,7 +68,7 @@ func RunPATA(c *oscorpus.Corpus, cfg core.Config, toolName string) (*ToolRun, er
 		return nil, err
 	}
 	start := time.Now()
-	res := core.NewEngine(mod, cfg).Run()
+	res := core.NewEngine(mod, cfg).RunCtx(baseCtx)
 	tr := &ToolRun{
 		Tool:    toolName,
 		Reports: bugReports(toolName, res.Bugs),
@@ -74,7 +90,7 @@ func RunPATAPipelined(c *oscorpus.Corpus, cfg core.Config, toolName string, work
 		return nil, err
 	}
 	start := time.Now()
-	res := core.RunParallel(mod, cfg, workers)
+	res := core.RunParallelCtx(baseCtx, mod, cfg, workers)
 	tr := &ToolRun{
 		Tool:    toolName,
 		Reports: bugReports(toolName, res.Bugs),

@@ -1,0 +1,98 @@
+package patad
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// admitVerdict is the outcome of one admission attempt.
+type admitVerdict int
+
+const (
+	// admitted: the caller holds an analysis slot and must release() it.
+	admitted admitVerdict = iota
+	// shedOverload: both the in-flight slots and the waiting queue are
+	// full; the client gets a retry_after_ms hint and must back off.
+	shedOverload
+	// shedDraining: the server stopped admitting (SIGTERM/shutdown).
+	shedDraining
+	// shedCancelled: the requester's context died while queued (client
+	// disconnected, request deadline expired before a slot freed).
+	shedCancelled
+)
+
+// admission bounds the daemon's concurrent analysis work. Two independent
+// caps: at most `slots` analyses run at once, and at most maxQueue further
+// requests wait for a slot. A request arriving past both caps is shed
+// immediately — unbounded queuing would turn overload into unbounded memory
+// and unbounded latency, the two failure modes a load-shedding tier exists
+// to prevent.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+	shed     atomic.Int64
+}
+
+func newAdmission(inFlight, maxQueue int) *admission {
+	if inFlight < 1 {
+		inFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{slots: make(chan struct{}, inFlight), maxQueue: int64(maxQueue)}
+}
+
+// acquire obtains an analysis slot, queuing up to the queue cap. drain
+// short-circuits waiting requests when the server stops admitting.
+func (a *admission) acquire(ctx context.Context, drain <-chan struct{}) admitVerdict {
+	select {
+	case <-drain:
+		return shedDraining
+	default:
+	}
+	// Fast path: a free slot, no queuing.
+	select {
+	case a.slots <- struct{}{}:
+		return admitted
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		a.shed.Add(1)
+		return shedOverload
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return admitted
+	case <-drain:
+		return shedDraining
+	case <-ctx.Done():
+		return shedCancelled
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// inFlight reports how many slots are currently held.
+func (a *admission) inFlight() int { return len(a.slots) }
+
+// retryAfter is the backoff hint attached to a shed response: it scales
+// with the observed queue pressure so a storm of clients fans out instead
+// of thundering back in lockstep. Deterministic on purpose — the daemon has
+// no business consuming entropy per shed request; clients are told to
+// treat the hint as a minimum.
+func (a *admission) retryAfter() time.Duration {
+	depth := a.queued.Load()
+	if depth < 0 {
+		depth = 0
+	}
+	d := 100*time.Millisecond + 50*time.Millisecond*time.Duration(depth)
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}

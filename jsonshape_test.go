@@ -1,0 +1,113 @@
+package pata
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// branchySrc has enough paths that MaxPathsPerEntry=1 trips the budget,
+// producing a deterministic ReasonBudget incomplete record.
+const branchySrc = `
+int fanout(int a, int b, int c) {
+	int n = 0;
+	if (a > 0)
+		n = n + 1;
+	if (b > 0)
+		n = n + 2;
+	if (c > 0)
+		n = n + 4;
+	return n;
+}`
+
+// TestIncompleteJSONShape pins the serialized shape of Result.Incomplete as
+// cmd/pata -json and the patad protocol emit it: lowercase entry/reason/rung
+// keys (detail omitted when empty), surviving both the parallel scheduler's
+// merge and the convert to the public Result. Clients key on these names;
+// renaming a field is a protocol break, not a refactor.
+func TestIncompleteJSONShape(t *testing.T) {
+	res, err := AnalyzeSources("demo", map[string]string{"demo.c": branchySrc},
+		Config{MaxPathsPerEntry: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Incomplete) != 1 {
+		t.Fatalf("incomplete = %+v, want exactly the budget-tripped entry", res.Incomplete)
+	}
+
+	// Serialize through the exact anonymous struct cmd/pata -json encodes.
+	data, err := json.Marshal(struct {
+		Bugs       []Bug             `json:"bugs"`
+		Incomplete []IncompleteEntry `json:"incomplete,omitempty"`
+		Stats      Stats             `json:"stats"`
+	}{Bugs: res.Bugs, Incomplete: res.Incomplete, Stats: res.Stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Incomplete []map[string]any `json:"incomplete"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Incomplete) != 1 {
+		t.Fatalf("decoded incomplete = %+v", decoded.Incomplete)
+	}
+	rec := decoded.Incomplete[0]
+	if rec["entry"] != "fanout" {
+		t.Errorf(`rec["entry"] = %v, want "fanout"`, rec["entry"])
+	}
+	if rec["reason"] != "budget" {
+		t.Errorf(`rec["reason"] = %v, want "budget"`, rec["reason"])
+	}
+	if _, ok := rec["rung"].(float64); !ok {
+		t.Errorf(`rec["rung"] = %v (%T), want a number`, rec["rung"], rec["rung"])
+	}
+	if _, present := rec["detail"]; present {
+		t.Errorf("empty detail was serialized: %v", rec)
+	}
+
+	// The detail field keeps its lowercase tag when populated (panic text).
+	withDetail, err := json.Marshal(IncompleteEntry{
+		Entry: "e", Reason: "panic", Rung: -1, Detail: "boom",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"entry":"e"`, `"reason":"panic"`, `"rung":-1`, `"detail":"boom"`} {
+		if !strings.Contains(string(withDetail), want) {
+			t.Errorf("serialized record %s missing %s", withDetail, want)
+		}
+	}
+}
+
+// TestIncompleteJSONShapeParallelMergeStable: the same budget trip through
+// increasing worker counts serializes identically — the parallel merge must
+// not reorder or duplicate incomplete records.
+func TestIncompleteJSONShapeParallelMergeStable(t *testing.T) {
+	sources := map[string]string{
+		"a.c": branchySrc,
+		"b.c": strings.ReplaceAll(branchySrc, "fanout", "fanout2"),
+	}
+	var first string
+	for _, workers := range []int{1, 2, 8} {
+		res, err := AnalyzeSources("demo", sources, Config{MaxPathsPerEntry: 1, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(res.Incomplete)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == "" {
+			first = string(data)
+			if !strings.Contains(first, `"entry":"fanout"`) || !strings.Contains(first, `"entry":"fanout2"`) {
+				t.Fatalf("unexpected incomplete set: %s", first)
+			}
+			continue
+		}
+		if string(data) != first {
+			t.Errorf("workers=%d serialized incomplete differs:\n%s\nvs\n%s", workers, data, first)
+		}
+	}
+}

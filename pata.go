@@ -314,19 +314,38 @@ func AnalyzeSourcesCtx(ctx context.Context, name string, sources map[string]stri
 
 // AnalyzeFiles reads and analyzes the given mini-C files as one program.
 func AnalyzeFiles(paths []string, cfg Config) (*Result, error) {
-	sources := make(map[string]string, len(paths))
-	for _, p := range paths {
-		data, err := os.ReadFile(p)
-		if err != nil {
-			return nil, fmt.Errorf("pata: %w", err)
-		}
-		sources[p] = string(data)
+	return AnalyzeFilesCtx(context.Background(), paths, cfg)
+}
+
+// AnalyzeFilesCtx is AnalyzeFiles with a caller context; cancellation
+// semantics are those of AnalyzeSourcesCtx.
+func AnalyzeFilesCtx(ctx context.Context, paths []string, cfg Config) (*Result, error) {
+	sources, err := ReadSources(paths)
+	if err != nil {
+		return nil, err
 	}
-	return AnalyzeSources("program", sources, cfg)
+	return AnalyzeSourcesCtx(ctx, "program", sources, cfg)
 }
 
 // AnalyzeDir analyzes every .c file under dir (recursively) as one program.
 func AnalyzeDir(dir string, cfg Config) (*Result, error) {
+	return AnalyzeDirCtx(context.Background(), dir, cfg)
+}
+
+// AnalyzeDirCtx is AnalyzeDir with a caller context; cancellation semantics
+// are those of AnalyzeSourcesCtx.
+func AnalyzeDirCtx(ctx context.Context, dir string, cfg Config) (*Result, error) {
+	paths, err := SourcePaths(dir)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeFilesCtx(ctx, paths, cfg)
+}
+
+// SourcePaths lists every .c file under dir (recursively), sorted — the
+// file set AnalyzeDir analyzes, exposed so long-lived callers (the patad
+// daemon) can load the same corpus a CLI run would.
+func SourcePaths(dir string) ([]string, error) {
 	var paths []string
 	err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -344,8 +363,38 @@ func AnalyzeDir(dir string, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("pata: no .c files under %s", dir)
 	}
 	sort.Strings(paths)
-	return AnalyzeFiles(paths, cfg)
+	return paths, nil
 }
+
+// ReadSources reads the given files into the source map AnalyzeSources
+// consumes, keyed by path exactly as AnalyzeFiles would (so reports from
+// either entry point print identical file names).
+func ReadSources(paths []string) (map[string]string, error) {
+	sources := make(map[string]string, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("pata: %w", err)
+		}
+		sources[p] = string(data)
+	}
+	return sources, nil
+}
+
+// EngineConfig resolves the public configuration into the engine-level
+// core.Config the scheduler consumes — the same resolution AnalyzeSources
+// performs, exposed for module-internal hosts that drive core.RunParallelCtx
+// directly over a retained module (the patad daemon). When CacheDir is set
+// this opens the on-disk store as a side effect; a resident caller that
+// wants to own the store's lifecycle (flush on drain, reuse across
+// requests) should leave CacheDir empty and install core.Config.Cache
+// itself.
+func (c Config) EngineConfig() (core.Config, error) { return c.engineConfig() }
+
+// ConvertResult converts an engine-level result into the public Result —
+// the exact conversion AnalyzeSources applies, so hosts that run the engine
+// directly render reports byte-identical to the library's.
+func ConvertResult(res *core.Result, witness bool) *Result { return convert(res, witness) }
 
 func convert(res *core.Result, witness bool) *Result {
 	out := &Result{Stats: res.Stats, Incomplete: res.Incomplete}
